@@ -1,0 +1,40 @@
+//! Criterion wrappers around every paper experiment at tiny scale.
+//!
+//! `cargo bench` therefore exercises the full table/figure regeneration
+//! pipeline end-to-end (one benchmark per paper artifact). The printed
+//! paper-style tables come from the `src/bin` binaries; these benches keep
+//! the whole pipeline honest and measure its wall-clock cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gnnadvisor_bench::experiments::{fig08, fig09, fig10, fig11, fig12, fig13, table1, table2};
+use gnnadvisor_bench::ExperimentConfig;
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.004,
+        ..Default::default()
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(4));
+    let cfg = tiny();
+    group.bench_function("table1_datasets", |b| b.iter(|| table1::run(&cfg)));
+    group.bench_function("fig08_dgl_speedup", |b| b.iter(|| fig08::run(&cfg)));
+    group.bench_function("fig09_kernel_metrics", |b| b.iter(|| fig09::run(&cfg)));
+    group.bench_function("fig10_pyg_gunrock", |b| b.iter(|| fig10::run(&cfg)));
+    group.bench_function("table2_neugraph", |b| b.iter(|| table2::run(&cfg)));
+    group.bench_function("fig11_param_sweeps", |b| b.iter(|| fig11::run(&cfg)));
+    group.bench_function("fig12_renumbering_block", |b| b.iter(|| fig12::run(&cfg)));
+    group.bench_function("fig13_case_studies", |b| b.iter(|| fig13::run(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

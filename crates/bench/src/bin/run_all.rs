@@ -1,0 +1,55 @@
+//! Runs every experiment in sequence and writes all JSON results — the
+//! one-shot regeneration of the paper's evaluation section.
+
+use gnnadvisor_bench::experiments::{fig08, fig09, fig10, fig11, fig12, fig13, table1, table2};
+use gnnadvisor_bench::report::write_json;
+use gnnadvisor_bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    eprintln!(
+        "running all experiments at scale {} (set GNNADVISOR_SCALE to change)\n",
+        cfg.scale
+    );
+
+    let t1 = table1::run(&cfg);
+    table1::print(&t1);
+    let _ = write_json("table1", &t1);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f8 = fig08::run(&cfg);
+    fig08::print(&f8);
+    let _ = write_json("fig08", &f8);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f9 = fig09::run(&cfg);
+    fig09::print(&f9);
+    let _ = write_json("fig09", &f9);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f10 = fig10::run(&cfg);
+    fig10::print(&f10);
+    let _ = write_json("fig10", &f10);
+    println!("\n{}\n", "=".repeat(70));
+
+    let t2 = table2::run(&cfg);
+    table2::print(&t2);
+    let _ = write_json("table2", &t2);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f11 = fig11::run(&cfg);
+    fig11::print(&f11);
+    let _ = write_json("fig11", &f11);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f12 = fig12::run(&cfg);
+    fig12::print(&f12);
+    let _ = write_json("fig12", &f12);
+    println!("\n{}\n", "=".repeat(70));
+
+    let f13 = fig13::run(&cfg);
+    fig13::print(&f13);
+    let _ = write_json("fig13", &f13);
+
+    eprintln!("\nall experiments complete; JSON under target/experiments/");
+}

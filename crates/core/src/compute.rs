@@ -1,0 +1,247 @@
+//! Numerical aggregation semantics.
+//!
+//! The kernels in [`crate::kernels`] are *cost emitters* for the simulated
+//! GPU; this module computes the actual aggregation values, both as a
+//! straightforward sequential reference and as a grouped execution that
+//! follows the group partition + leader-node order exactly. Property tests
+//! assert the two agree bit-for-bit modulo float associativity (we use the
+//! same accumulation order per node, so they agree exactly).
+
+use gnnadvisor_graph::{Csr, NodeId};
+use gnnadvisor_tensor::Matrix;
+
+use crate::workload::group::NeighborGroup;
+
+/// Aggregation operator variants covering the paper's two GNN classes
+/// (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Plain neighbor sum (GIN's aggregate; the self term is applied by the
+    /// model layer as `(1 + eps) * h_v`).
+    Sum,
+    /// GCN symmetric normalization: each neighbor contribution is scaled by
+    /// `1 / sqrt((deg(v) + 1) (deg(u) + 1))` and the self term by
+    /// `1 / (deg(v) + 1)` (renormalization-trick self-loop).
+    GcnNorm,
+    /// Mean of neighbors (GraphSage's default aggregator).
+    Mean,
+}
+
+/// Sequential reference aggregation: `out[v] = op({ h_u : u in N(v) })`.
+///
+/// # Panics
+///
+/// Panics if `features.rows() != graph.num_nodes()`.
+pub fn aggregate_reference(graph: &Csr, features: &Matrix, op: Aggregation) -> Matrix {
+    assert_eq!(
+        features.rows(),
+        graph.num_nodes(),
+        "feature rows must match node count"
+    );
+    let d = features.cols();
+    let mut out = Matrix::zeros(graph.num_nodes(), d);
+    for v in 0..graph.num_nodes() as NodeId {
+        let row_out = out.row_mut(v as usize);
+        for &u in graph.neighbors(v) {
+            let w = edge_weight(graph, v, u, op);
+            for (o, &x) in row_out.iter_mut().zip(features.row(u as usize)) {
+                *o += w * x;
+            }
+        }
+        if let Aggregation::GcnNorm = op {
+            // Self-loop term of the renormalized adjacency.
+            let w = 1.0 / (graph.degree(v) as f32 + 1.0);
+            for (o, &x) in row_out.iter_mut().zip(features.row(v as usize)) {
+                *o += w * x;
+            }
+        }
+        if let Aggregation::Mean = op {
+            let deg = graph.degree(v);
+            if deg > 0 {
+                let inv = 1.0 / deg as f32;
+                for o in row_out.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Grouped aggregation: every group accumulates privately (one thread's
+/// registers), then pushes into its node's row in group order (the
+/// leader-node flush). Because groups of one node appear in CSR order and
+/// are reduced in that order, the result is *identical* to
+/// [`aggregate_reference`], which the property suite asserts.
+pub fn aggregate_grouped(
+    graph: &Csr,
+    features: &Matrix,
+    groups: &[NeighborGroup],
+    op: Aggregation,
+) -> Matrix {
+    assert_eq!(
+        features.rows(),
+        graph.num_nodes(),
+        "feature rows must match node count"
+    );
+    let d = features.cols();
+    let col_idx = graph.col_idx();
+    let mut out = Matrix::zeros(graph.num_nodes(), d);
+    let mut acc = vec![0.0f32; d];
+    for g in groups {
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        for &u in &col_idx[g.start as usize..g.end as usize] {
+            let w = edge_weight(graph, g.node, u, op);
+            for (a, &x) in acc.iter_mut().zip(features.row(u as usize)) {
+                *a += w * x;
+            }
+        }
+        // Leader flush: atomic adds into the node row.
+        for (o, &a) in out.row_mut(g.node as usize).iter_mut().zip(&acc) {
+            *o += a;
+        }
+    }
+    // Epilogues that need the full neighbor set.
+    for v in 0..graph.num_nodes() {
+        match op {
+            Aggregation::GcnNorm => {
+                let w = 1.0 / (graph.degree(v as NodeId) as f32 + 1.0);
+                // Cannot hold two &mut rows; copy the self feature first.
+                let self_row: Vec<f32> = features.row(v).to_vec();
+                for (o, x) in out.row_mut(v).iter_mut().zip(self_row) {
+                    *o += w * x;
+                }
+            }
+            Aggregation::Mean => {
+                let deg = graph.degree(v as NodeId);
+                if deg > 0 {
+                    let inv = 1.0 / deg as f32;
+                    for o in out.row_mut(v).iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            }
+            Aggregation::Sum => {}
+        }
+    }
+    out
+}
+
+/// Edge-weighted aggregation: `out[v] = sum_{e=(v,u)} w[e] * h_u`, with
+/// `weights` indexed by CSR edge position — the numerical core of GAT's
+/// attention-weighted neighbor sum.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.num_edges()` or the feature shape
+/// mismatches.
+pub fn aggregate_weighted(graph: &Csr, features: &Matrix, weights: &[f32]) -> Matrix {
+    assert_eq!(
+        features.rows(),
+        graph.num_nodes(),
+        "feature rows must match node count"
+    );
+    assert_eq!(weights.len(), graph.num_edges(), "one weight per CSR edge");
+    let d = features.cols();
+    let row_ptr = graph.row_ptr();
+    let col_idx = graph.col_idx();
+    let mut out = Matrix::zeros(graph.num_nodes(), d);
+    for v in 0..graph.num_nodes() {
+        let row_out = out.row_mut(v);
+        for e in row_ptr[v]..row_ptr[v + 1] {
+            let u = col_idx[e] as usize;
+            let w = weights[e];
+            for (o, &x) in row_out.iter_mut().zip(features.row(u)) {
+                *o += w * x;
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn edge_weight(graph: &Csr, v: NodeId, u: NodeId, op: Aggregation) -> f32 {
+    match op {
+        Aggregation::Sum | Aggregation::Mean => 1.0,
+        Aggregation::GcnNorm => {
+            let dv = graph.degree(v) as f32 + 1.0;
+            let du = graph.degree(u) as f32 + 1.0;
+            1.0 / (dv * du).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::group::partition_groups;
+    use gnnadvisor_graph::generators::barabasi_albert;
+    use gnnadvisor_graph::GraphBuilder;
+    use gnnadvisor_tensor::init::random_features;
+
+    #[test]
+    fn sum_on_path() {
+        let g = GraphBuilder::new(3)
+            .path(&[0, 1, 2])
+            .build()
+            .expect("valid");
+        let f = Matrix::from_fn(3, 2, |r, _| r as f32 + 1.0);
+        let out = aggregate_reference(&g, &f, Aggregation::Sum);
+        assert_eq!(out.row(0), &[2.0, 2.0], "node 0 sums node 1");
+        assert_eq!(out.row(1), &[4.0, 4.0], "node 1 sums nodes 0 and 2");
+    }
+
+    #[test]
+    fn mean_divides_by_degree() {
+        let g = GraphBuilder::new(3)
+            .star(0, &[1, 2])
+            .build()
+            .expect("valid");
+        let f = Matrix::from_fn(3, 1, |r, _| r as f32);
+        let out = aggregate_reference(&g, &f, Aggregation::Mean);
+        assert_eq!(out.get(0, 0), 1.5, "(1 + 2) / 2");
+        assert_eq!(out.get(1, 0), 0.0, "only neighbor is node 0 with value 0");
+    }
+
+    #[test]
+    fn gcn_norm_includes_self() {
+        let g = GraphBuilder::new(2)
+            .undirected_edge(0, 1)
+            .build()
+            .expect("valid");
+        let f = Matrix::from_fn(2, 1, |r, _| (r + 1) as f32);
+        let out = aggregate_reference(&g, &f, Aggregation::GcnNorm);
+        // deg+1 = 2 for both: neighbor weight 1/2, self weight 1/2.
+        assert!((out.get(0, 0) - (0.5 * 2.0 + 0.5 * 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grouped_equals_reference_all_ops() {
+        let g = barabasi_albert(300, 4, 11).expect("valid");
+        let f = random_features(300, 24, 5);
+        for gs in [1, 3, 8, 64] {
+            let groups = partition_groups(&g, gs).expect("valid");
+            for op in [Aggregation::Sum, Aggregation::GcnNorm, Aggregation::Mean] {
+                let a = aggregate_reference(&g, &f, op);
+                let b = aggregate_grouped(&g, &f, &groups, op);
+                assert!(
+                    a.max_abs_diff(&b) < 1e-4,
+                    "grouped execution diverged for gs={gs}, op={op:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_outputs_zero_for_sum() {
+        let g = GraphBuilder::new(3)
+            .undirected_edge(0, 1)
+            .build()
+            .expect("valid");
+        let f = Matrix::from_fn(3, 2, |_, _| 7.0);
+        let out = aggregate_reference(&g, &f, Aggregation::Sum);
+        assert_eq!(out.row(2), &[0.0, 0.0]);
+        let out = aggregate_reference(&g, &f, Aggregation::Mean);
+        assert_eq!(out.row(2), &[0.0, 0.0], "mean of no neighbors stays zero");
+    }
+}

@@ -1,0 +1,6 @@
+//! Input extractor (Section 4): the input-level information that drives
+//! every downstream optimization decision.
+
+pub mod extractor;
+
+pub use extractor::{extract, AggOrder, InputInfo};

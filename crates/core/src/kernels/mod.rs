@@ -1,0 +1,46 @@
+//! Aggregation kernels on the simulated GPU.
+//!
+//! - [`advisor`]: GNNAdvisor's group-based kernel (Sections 5 and 6.2).
+//! - [`node_centric`], [`edge_centric`]: the two extremes of Figure 4 that
+//!   group-based partitioning interpolates between.
+//! - [`spmm_dgl`]: the DGL baseline — input-oblivious row-per-warp fused
+//!   SpMM plus a feature-stacking pass.
+//! - [`scatter_pyg`]: the PyG baseline — materialize per-edge messages,
+//!   then atomic scatter-reduce.
+//! - [`advance_gunrock`]: the GunRock baseline — frontier advance with
+//!   scalar per-(edge, dim) operators.
+//! - [`saga_neugraph`]: the NeuGraph baseline — SAGA dataflow with chunked
+//!   host↔device streaming.
+//!
+//! All kernels read the same [`arrays`] address space so cross-kernel cache
+//! behaviour is comparable.
+
+pub mod advance_gunrock;
+pub mod advisor;
+pub mod attention;
+pub mod edge_centric;
+pub mod node_centric;
+pub mod saga_neugraph;
+pub mod scatter_pyg;
+pub mod spmm_dgl;
+
+/// Shared simulated-memory array ids.
+pub mod arrays {
+    use gnnadvisor_gpu::ArrayId;
+
+    /// CSR row pointers.
+    pub const ROW_PTR: ArrayId = ArrayId(0);
+    /// CSR column indices (neighbor ids).
+    pub const COL_IDX: ArrayId = ArrayId(1);
+    /// Input node-feature matrix (N x D, row-major f32).
+    pub const FEAT_IN: ArrayId = ArrayId(2);
+    /// Output aggregation buffer (N x D).
+    pub const FEAT_OUT: ArrayId = ArrayId(3);
+    /// Per-edge message buffer (E x D) used by the PyG-style baseline.
+    pub const MSG_BUF: ArrayId = ArrayId(4);
+    /// COO source-row array used by edge-parallel baselines.
+    pub const EDGE_SRC: ArrayId = ArrayId(5);
+}
+
+/// Bytes of one `f32`.
+pub(crate) const F32: u64 = 4;

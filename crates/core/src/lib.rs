@@ -1,0 +1,94 @@
+//! The GNNAdvisor runtime (the paper's primary contribution).
+//!
+//! Pipeline, mirroring Figure 1 of the paper:
+//!
+//! 1. **Input extractor** ([`input`]) squeezes input-level information out
+//!    of the graph and the GNN architecture: node count, edge count, degree
+//!    mean/stddev, embedding dimensionality, aggregation order.
+//! 2. **Performance evaluator** ([`tuning`]) turns that information into
+//!    runtime parameters — group size `gs`, threads-per-block `tpb`,
+//!    dimension workers `dw` — either analytically (Section 7.1, Eq. 2–4)
+//!    or with the evolutionary *Estimating* search (Section 7.2).
+//! 3. **Kernel & runtime crafter** ([`workload`], [`memory`], [`kernels`])
+//!    builds the group-based workload (Section 5), the block-aware shared
+//!    memory layout (Section 6.2, Algorithm 1), optionally applies
+//!    community-aware node renumbering (Section 6.1), and launches the
+//!    GNNAdvisor aggregation kernel on the simulated GPU.
+//!
+//! The same crate also implements every baseline execution strategy the
+//! paper compares against ([`kernels`], [`frameworks`]): node-centric and
+//! edge-centric aggregation (Figure 4), DGL-style fused SpMM, PyG-style
+//! scatter–gather, GunRock-style frontier advance, and NeuGraph-style SAGA
+//! chunk streaming — all running on the same simulator so comparisons are
+//! apples-to-apples.
+//!
+//! Numerical semantics are implemented separately in [`compute`]: kernels
+//! are cost emitters, while [`compute`] produces the actual aggregation
+//! values; property tests assert the grouped execution order computes
+//! exactly what the sequential reference does.
+
+pub mod compute;
+pub mod frameworks;
+pub mod input;
+pub mod kernels;
+pub mod memory;
+pub mod multi_gpu;
+pub mod runtime;
+pub mod tuning;
+pub mod workload;
+
+pub use frameworks::Framework;
+pub use input::{AggOrder, InputInfo};
+pub use runtime::{Advisor, AdvisorConfig};
+pub use tuning::params::RuntimeParams;
+pub use workload::group::NeighborGroup;
+
+/// Errors surfaced by the runtime layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Invalid runtime parameters (e.g. zero group size).
+    InvalidParams {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Propagated graph-substrate error.
+    Graph(gnnadvisor_graph::GraphError),
+    /// Propagated simulator error.
+    Gpu(gnnadvisor_gpu::GpuError),
+    /// Propagated tensor error.
+    Tensor(gnnadvisor_tensor::TensorError),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::InvalidParams { reason } => write!(f, "invalid runtime params: {reason}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Gpu(e) => write!(f, "gpu error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<gnnadvisor_graph::GraphError> for CoreError {
+    fn from(e: gnnadvisor_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<gnnadvisor_gpu::GpuError> for CoreError {
+    fn from(e: gnnadvisor_gpu::GpuError) -> Self {
+        CoreError::Gpu(e)
+    }
+}
+
+impl From<gnnadvisor_tensor::TensorError> for CoreError {
+    fn from(e: gnnadvisor_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = core::result::Result<T, CoreError>;

@@ -1,0 +1,9 @@
+//! Memory optimization (Section 6): block-aware shared-memory organizing.
+//!
+//! (Community-aware node renumbering, the other half of Section 6, lives in
+//! `gnnadvisor-graph::reorder` because it is a pure graph transformation;
+//! the runtime applies it before building workloads.)
+
+pub mod organize;
+
+pub use organize::{organize_shared, SharedLayout};

@@ -1,0 +1,384 @@
+//! The end-to-end GNNAdvisor runtime (Figure 1).
+//!
+//! [`Advisor::new`] wires the whole pipeline: extract input information,
+//! decide runtime parameters (user-supplied, analytical Modeling, or the
+//! evolutionary Estimating search), apply community-aware node renumbering,
+//! partition groups, and build the Algorithm 1 shared layout. After that,
+//! [`Advisor::aggregate`] launches the aggregation kernel for any embedding
+//! dimensionality and [`Advisor::update`] prices the dense update.
+
+use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics};
+use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_graph::{Csr, Permutation};
+
+use crate::input::{extract, AggOrder, InputInfo};
+use crate::kernels::advisor::AdvisorKernel;
+use crate::memory::organize::{organize_shared, SharedLayout};
+use crate::tuning::estimator::{Estimator, EstimatorConfig};
+use crate::tuning::model;
+use crate::tuning::params::RuntimeParams;
+use crate::workload::group::{partition_groups, NeighborGroup};
+use crate::Result;
+
+/// How runtime parameters are chosen.
+#[derive(Debug, Clone, Default)]
+pub enum TuneStrategy {
+    /// Analytical Modeling only (Section 7.1): grid search under Eq. 2–4.
+    #[default]
+    ModelOnly,
+    /// Evolutionary Estimating (Section 7.2) seeded by the analytical model.
+    Evolutionary(EstimatorConfig),
+    /// Fixed user-provided parameters (the paper's manual-tuning interface).
+    Manual(RuntimeParams),
+}
+
+/// Configuration of the runtime.
+#[derive(Debug, Clone)]
+pub struct AdvisorConfig {
+    /// Target device.
+    pub spec: GpuSpec,
+    /// Parameter selection strategy.
+    pub tune: TuneStrategy,
+    /// Override: force renumbering on/off regardless of tuned params
+    /// (`None` follows the tuned/default value).
+    pub renumber: Option<bool>,
+    /// Override: force block-level optimization on/off.
+    pub use_shared: Option<bool>,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        Self {
+            spec: GpuSpec::quadro_p6000(),
+            tune: TuneStrategy::ModelOnly,
+            renumber: None,
+            use_shared: None,
+        }
+    }
+}
+
+/// A prepared GNNAdvisor runtime bound to one graph and one GNN shape.
+///
+/// # Examples
+///
+/// ```
+/// use gnnadvisor_core::input::AggOrder;
+/// use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
+/// use gnnadvisor_graph::generators::barabasi_albert;
+///
+/// let graph = barabasi_albert(500, 4, 7).unwrap();
+/// let advisor = Advisor::new(
+///     &graph,
+///     96,                              // input feature dim
+///     16,                              // hidden dim
+///     10,                              // classes
+///     AggOrder::UpdateThenAggregate,   // GCN-style ordering
+///     AdvisorConfig::default(),        // auto-tune via Eq. 2-4
+/// )
+/// .unwrap();
+/// let metrics = advisor.aggregate(16).unwrap();
+/// assert!(metrics.time_ms > 0.0);
+/// ```
+pub struct Advisor {
+    engine: Engine,
+    graph: Csr,
+    permutation: Option<Permutation>,
+    params: RuntimeParams,
+    input: InputInfo,
+    groups: Vec<NeighborGroup>,
+    layout: SharedLayout,
+}
+
+impl Advisor {
+    /// Builds the runtime: extract → tune → renumber → partition → organize.
+    pub fn new(
+        graph: &Csr,
+        feat_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        agg_order: AggOrder,
+        config: AdvisorConfig,
+    ) -> Result<Self> {
+        let input = extract(graph, feat_dim, hidden_dim, num_classes, agg_order);
+
+        let mut params = match &config.tune {
+            TuneStrategy::ModelOnly => model::decide(&input, &config.spec),
+            TuneStrategy::Evolutionary(cfg) => {
+                Estimator::new(input.clone(), config.spec.clone(), *cfg).tune()
+            }
+            TuneStrategy::Manual(p) => {
+                p.validate()?;
+                *p
+            }
+        };
+        if let Some(r) = config.renumber {
+            params.renumber = r;
+        }
+        if let Some(s) = config.use_shared {
+            params.use_shared = s;
+        }
+
+        let (graph, permutation) = if params.renumber {
+            let r = renumber(graph, &RenumberConfig::default())?;
+            (graph.permute(&r.permutation)?, Some(r.permutation))
+        } else {
+            (graph.clone(), None)
+        };
+
+        let groups = partition_groups(&graph, params.group_size)?;
+        let layout = organize_shared(&groups, params.groups_per_block());
+        let engine = Engine::new(config.spec);
+
+        Ok(Self {
+            engine,
+            graph,
+            permutation,
+            params,
+            input,
+            groups,
+            layout,
+        })
+    }
+
+    /// Launches the aggregation kernel at dimensionality `dim`.
+    ///
+    /// Shared staging requires the Algorithm 1 layout to fit the device's
+    /// per-block shared memory *for the worst block*. When it does not —
+    /// e.g. after renumbering clusters many low-degree nodes into one
+    /// block, inflating the slot count — the launch is re-shaped with a
+    /// narrower block (halved `tpb`) until the layout fits, exactly as a
+    /// CUDA runtime would re-tune the launch configuration. Only if even a
+    /// 32-thread block cannot host one row does the kernel fall back to
+    /// direct atomic accumulation.
+    pub fn aggregate(&self, dim: usize) -> Result<KernelMetrics> {
+        let capacity = self.engine.spec().shared_mem_per_block;
+        if self.params.use_shared {
+            let mut params = self.params;
+            loop {
+                let layout = organize_shared(&self.groups, params.groups_per_block());
+                if layout.shared_bytes(dim) <= capacity {
+                    let kernel =
+                        AdvisorKernel::new(&self.graph, &self.groups, Some(&layout), dim, params);
+                    return Ok(self.engine.run(&kernel)?);
+                }
+                let next = params.threads_per_block / 2;
+                // Below 128 threads the extra block-dispatch overhead of
+                // the narrower launch outweighs what staging saves, so
+                // fall back to direct atomic accumulation instead.
+                if next < 128 || next < params.dim_workers {
+                    break;
+                }
+                params.threads_per_block = next;
+            }
+        }
+        let kernel = AdvisorKernel::new(&self.graph, &self.groups, None, dim, self.params);
+        Ok(self.engine.run(&kernel)?)
+    }
+
+    /// Prices the dense update `rows x in_dim · in_dim x out_dim`.
+    pub fn update(&self, rows: usize, in_dim: usize, out_dim: usize) -> KernelMetrics {
+        self.engine.run_gemm(rows, out_dim, in_dim)
+    }
+
+    /// The chosen runtime parameters.
+    pub fn params(&self) -> &RuntimeParams {
+        &self.params
+    }
+
+    /// The extracted input information.
+    pub fn input(&self) -> &InputInfo {
+        &self.input
+    }
+
+    /// The (possibly renumbered) execution graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The renumbering permutation, when applied — callers must permute
+    /// node features and labels with it before interpreting outputs.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.permutation.as_ref()
+    }
+
+    /// The group partition (for inspection and tests).
+    pub fn groups(&self) -> &[NeighborGroup] {
+        &self.groups
+    }
+
+    /// The Algorithm 1 shared-memory layout.
+    pub fn layout(&self) -> &SharedLayout {
+        &self.layout
+    }
+
+    /// The simulated device engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnadvisor_graph::generators::{community_graph, CommunityParams};
+
+    fn graph() -> Csr {
+        let params = CommunityParams {
+            num_nodes: 2_000,
+            num_edges: 40_000,
+            mean_community: 50,
+            community_size_cv: 0.3,
+            inter_fraction: 0.1,
+            shuffle_ids: true,
+        };
+        community_graph(&params, 33).expect("valid").0
+    }
+
+    #[test]
+    fn auto_tuned_runtime_runs() {
+        let g = graph();
+        let adv = Advisor::new(
+            &g,
+            96,
+            16,
+            10,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig::default(),
+        )
+        .expect("builds");
+        adv.params().validate().expect("tuned params valid");
+        let m = adv.aggregate(16).expect("aggregation runs");
+        assert!(m.time_ms > 0.0);
+        let u = adv.update(g.num_nodes(), 96, 16);
+        assert!(u.time_ms > 0.0);
+    }
+
+    #[test]
+    fn renumbering_changes_graph_but_preserves_edges() {
+        let g = graph();
+        let adv = Advisor::new(
+            &g,
+            96,
+            16,
+            10,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig::default(),
+        )
+        .expect("builds");
+        assert!(adv.permutation().is_some(), "default tuned params renumber");
+        assert_eq!(adv.graph().num_edges(), g.num_edges());
+        assert_ne!(
+            adv.graph(),
+            &g,
+            "shuffled community graph must actually be renumbered"
+        );
+    }
+
+    #[test]
+    fn renumber_override_disables() {
+        let g = graph();
+        let cfg = AdvisorConfig {
+            renumber: Some(false),
+            ..Default::default()
+        };
+        let adv = Advisor::new(&g, 96, 16, 10, AggOrder::UpdateThenAggregate, cfg).expect("builds");
+        assert!(adv.permutation().is_none());
+        assert_eq!(adv.graph(), &g);
+    }
+
+    #[test]
+    fn renumbering_improves_cache_behaviour() {
+        let g = graph();
+        // A 2k-node feature matrix fits entirely in the P6000's 3 MB L2,
+        // which would mask locality; shrink the cache so reuse distance
+        // matters, as it does for the paper's Type III graphs.
+        let mut spec = GpuSpec::quadro_p6000();
+        spec.l2_bytes = 48 * 1024;
+        let on = Advisor::new(
+            &g,
+            96,
+            16,
+            10,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig {
+                renumber: Some(true),
+                spec: spec.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("builds");
+        let off = Advisor::new(
+            &g,
+            96,
+            16,
+            10,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig {
+                renumber: Some(false),
+                spec,
+                ..Default::default()
+            },
+        )
+        .expect("builds");
+        let m_on = on.aggregate(16).expect("runs");
+        let m_off = off.aggregate(16).expect("runs");
+        assert!(
+            m_on.dram_read_bytes < m_off.dram_read_bytes,
+            "renumbering must cut DRAM reads: {} vs {}",
+            m_on.dram_read_bytes,
+            m_off.dram_read_bytes
+        );
+        assert!(m_on.cache_hit_rate() > m_off.cache_hit_rate());
+    }
+
+    #[test]
+    fn manual_params_respected() {
+        let g = graph();
+        let manual = RuntimeParams {
+            group_size: 7,
+            threads_per_block: 128,
+            dim_workers: 4,
+            use_shared: false,
+            renumber: false,
+        };
+        let cfg = AdvisorConfig {
+            tune: TuneStrategy::Manual(manual),
+            ..Default::default()
+        };
+        let adv = Advisor::new(&g, 96, 16, 10, AggOrder::UpdateThenAggregate, cfg).expect("builds");
+        assert_eq!(adv.params(), &manual);
+        assert!(adv.groups().iter().all(|grp| grp.len() <= 7));
+    }
+
+    #[test]
+    fn invalid_manual_params_rejected() {
+        let g = graph();
+        let bad = RuntimeParams {
+            group_size: 0,
+            ..Default::default()
+        };
+        let cfg = AdvisorConfig {
+            tune: TuneStrategy::Manual(bad),
+            ..Default::default()
+        };
+        assert!(Advisor::new(&g, 96, 16, 10, AggOrder::UpdateThenAggregate, cfg).is_err());
+    }
+
+    #[test]
+    fn shared_fallback_on_huge_dims() {
+        let g = graph();
+        let adv = Advisor::new(
+            &g,
+            8192,
+            16,
+            10,
+            AggOrder::AggregateThenUpdate,
+            AdvisorConfig::default(),
+        )
+        .expect("builds");
+        // 8192-dim rows cannot fit the 48 KB shared budget with any slot
+        // count > 1; the aggregate call must still succeed via fallback.
+        let m = adv.aggregate(8192).expect("fallback path runs");
+        assert!(m.time_ms > 0.0);
+    }
+}

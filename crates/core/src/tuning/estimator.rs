@@ -1,0 +1,227 @@
+//! The *Estimating* strategy (Section 7.2): evolutionary parameter search.
+//!
+//! Mirrors the paper's loop: (1) start from a set of randomly generated
+//! settings; (2) score them and keep the settings that deliver high enough
+//! performance; (3) crossover the kept settings (plus light mutation) to
+//! generate the next population; repeat for 10–15 iterations.
+//!
+//! The fitness function is pluggable: by default it is the analytical
+//! model of Eq. 2 (fast, zero simulation), but callers can pass a closure
+//! that launches the real simulated kernel for profile-guided tuning —
+//! this is the "optimization loop" of Figure 1 (kernel & runtime crafter →
+//! GPU profiling → performance evaluator).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gnnadvisor_gpu::GpuSpec;
+
+use crate::input::InputInfo;
+use crate::tuning::model;
+use crate::tuning::params::RuntimeParams;
+
+/// Knobs of the evolutionary search.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Population size per generation.
+    pub population: usize,
+    /// Generations to run (the paper: "10 - 15 iterations ... would be
+    /// enough").
+    pub iterations: usize,
+    /// Survivors kept per generation.
+    pub survivors: usize,
+    /// Per-field mutation probability during crossover.
+    pub mutation_rate: f64,
+    /// RNG seed (the search is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            iterations: 12,
+            survivors: 8,
+            mutation_rate: 0.15,
+            seed: 0xAD71,
+        }
+    }
+}
+
+/// The evolutionary tuner.
+pub struct Estimator {
+    config: EstimatorConfig,
+    input: InputInfo,
+    spec: GpuSpec,
+}
+
+/// Candidate values per field, kept small so crossover explores a lattice.
+const GS_CHOICES: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128];
+const TPB_CHOICES: &[u32] = &[32, 64, 128, 256, 512, 1024];
+const DW_CHOICES: &[u32] = &[1, 2, 4, 8, 16, 32];
+
+impl Estimator {
+    /// Creates a tuner for the given input and device.
+    pub fn new(input: InputInfo, spec: GpuSpec, config: EstimatorConfig) -> Self {
+        Self {
+            config,
+            input,
+            spec,
+        }
+    }
+
+    /// Runs the search with the analytical Eq. 2 fitness.
+    pub fn tune(&self) -> RuntimeParams {
+        self.tune_with(|p| model::estimated_latency(p, &self.input, &self.spec))
+    }
+
+    /// Runs the search with a caller-provided latency function (lower is
+    /// better), e.g. an actual simulated kernel launch.
+    pub fn tune_with(&self, mut latency: impl FnMut(&RuntimeParams) -> f64) -> RuntimeParams {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut population: Vec<RuntimeParams> = (0..self.config.population)
+            .map(|_| self.random_candidate(&mut rng))
+            .collect();
+
+        let mut best = population[0];
+        let mut best_score = f64::INFINITY;
+
+        for _gen in 0..self.config.iterations {
+            // Score, keeping only feasible candidates.
+            let mut scored: Vec<(f64, RuntimeParams)> = population
+                .iter()
+                .map(|&p| {
+                    let feasible = p.validate().is_ok()
+                        && model::respects_thread_capacity(&p, &self.input, &self.spec)
+                        && model::respects_shared_capacity(&p, &self.input, &self.spec);
+                    let s = if feasible { latency(&p) } else { f64::INFINITY };
+                    (s, p)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if scored[0].0 < best_score {
+                best_score = scored[0].0;
+                best = scored[0].1;
+            }
+            // Survivors + crossover offspring.
+            let survivors: Vec<RuntimeParams> = scored
+                .iter()
+                .take(self.config.survivors.max(2))
+                .map(|&(_, p)| p)
+                .collect();
+            population.clear();
+            population.extend_from_slice(&survivors);
+            while population.len() < self.config.population {
+                let a = survivors[rng.gen_range(0..survivors.len())];
+                let b = survivors[rng.gen_range(0..survivors.len())];
+                population.push(self.crossover(a, b, &mut rng));
+            }
+        }
+        // Fall back to the analytical decision if the search never found a
+        // feasible point (degenerate inputs).
+        if best_score.is_infinite() {
+            model::decide(&self.input, &self.spec)
+        } else {
+            best
+        }
+    }
+
+    fn random_candidate(&self, rng: &mut SmallRng) -> RuntimeParams {
+        RuntimeParams {
+            group_size: GS_CHOICES[rng.gen_range(0..GS_CHOICES.len())],
+            threads_per_block: TPB_CHOICES[rng.gen_range(0..TPB_CHOICES.len())],
+            dim_workers: DW_CHOICES[rng.gen_range(0..DW_CHOICES.len())],
+            ..RuntimeParams::default()
+        }
+    }
+
+    fn crossover(&self, a: RuntimeParams, b: RuntimeParams, rng: &mut SmallRng) -> RuntimeParams {
+        let mut child = RuntimeParams {
+            group_size: if rng.gen_bool(0.5) {
+                a.group_size
+            } else {
+                b.group_size
+            },
+            threads_per_block: if rng.gen_bool(0.5) {
+                a.threads_per_block
+            } else {
+                b.threads_per_block
+            },
+            dim_workers: if rng.gen_bool(0.5) {
+                a.dim_workers
+            } else {
+                b.dim_workers
+            },
+            ..RuntimeParams::default()
+        };
+        if rng.gen_bool(self.config.mutation_rate) {
+            child.group_size = GS_CHOICES[rng.gen_range(0..GS_CHOICES.len())];
+        }
+        if rng.gen_bool(self.config.mutation_rate) {
+            child.threads_per_block = TPB_CHOICES[rng.gen_range(0..TPB_CHOICES.len())];
+        }
+        if rng.gen_bool(self.config.mutation_rate) {
+            child.dim_workers = DW_CHOICES[rng.gen_range(0..DW_CHOICES.len())];
+        }
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::AggOrder;
+
+    fn input() -> InputInfo {
+        InputInfo {
+            num_nodes: 100_000,
+            num_edges: 1_200_000,
+            avg_degree: 12.0,
+            degree_stddev: 20.0,
+            max_degree: 800,
+            feat_dim: 96,
+            hidden_dim: 16,
+            num_classes: 22,
+            agg_order: AggOrder::UpdateThenAggregate,
+        }
+    }
+
+    #[test]
+    fn finds_feasible_params() {
+        let est = Estimator::new(input(), GpuSpec::quadro_p6000(), EstimatorConfig::default());
+        let p = est.tune();
+        p.validate().expect("tuned params must validate");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = GpuSpec::quadro_p6000();
+        let a = Estimator::new(input(), spec.clone(), EstimatorConfig::default()).tune();
+        let b = Estimator::new(input(), spec, EstimatorConfig::default()).tune();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_or_beats_analytical_grid() {
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        let grid_best = model::decide(&inp, &spec);
+        let grid_score = model::estimated_latency(&grid_best, &inp, &spec);
+        let tuned = Estimator::new(inp.clone(), spec.clone(), EstimatorConfig::default()).tune();
+        let tuned_score = model::estimated_latency(&tuned, &inp, &spec);
+        // The evolutionary search explores a denser lattice, so it must be
+        // at least as good as the coarse grid, with a small tolerance.
+        assert!(
+            tuned_score <= grid_score * 1.05,
+            "tuned {tuned_score} vs grid {grid_score}"
+        );
+    }
+
+    #[test]
+    fn custom_fitness_is_respected() {
+        let est = Estimator::new(input(), GpuSpec::quadro_p6000(), EstimatorConfig::default());
+        // Fitness that only likes dw == 8.
+        let p = est.tune_with(|p| if p.dim_workers == 8 { 1.0 } else { 1000.0 });
+        assert_eq!(p.dim_workers, 8);
+    }
+}

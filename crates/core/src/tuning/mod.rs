@@ -1,0 +1,10 @@
+//! Design optimization (Section 7): the analytical *Modeling* of Eq. 2–4
+//! and the evolutionary *Estimating* search.
+
+pub mod estimator;
+pub mod model;
+pub mod params;
+
+pub use estimator::{Estimator, EstimatorConfig};
+pub use model::{estimated_latency, respects_shared_capacity, respects_thread_capacity};
+pub use params::RuntimeParams;

@@ -1,0 +1,106 @@
+//! Dimension-based workload sharing (Section 5.4).
+//!
+//! A group's element-wise aggregation over a `D`-dimensional embedding is
+//! spread across a *team* of `dw` adjacent lanes, each covering
+//! `ceil(D / dw)` adjacent dimensions (the coalescing-friendly mapping of
+//! Figure 6b: neighboring threads touch neighboring addresses).
+
+use gnnadvisor_gpu::kernel::WARP_SIZE;
+
+/// How a group's dimension work maps onto warp lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionPlan {
+    /// Dimension workers per group (`dw`), clamped to the warp width.
+    pub workers: u32,
+    /// Embedding dimensionality `D`.
+    pub dim: usize,
+}
+
+impl DimensionPlan {
+    /// Builds a plan; `workers` is clamped to `1..=WARP_SIZE`.
+    pub fn new(workers: u32, dim: usize) -> Self {
+        Self {
+            workers: workers.clamp(1, WARP_SIZE),
+            dim,
+        }
+    }
+
+    /// Dimensions each worker covers (`ceil(D / dw)`); the last worker may
+    /// cover fewer.
+    pub fn dims_per_worker(&self) -> usize {
+        self.dim.div_ceil(self.workers as usize)
+    }
+
+    /// Workers that actually receive dimensions. When `dw > D`, the excess
+    /// lanes idle — the over-provisioning penalty of Figure 11c.
+    pub fn active_workers(&self) -> u32 {
+        (self.workers as usize).min(self.dim).max(1) as u32
+    }
+
+    /// Memory transactions one team needs to read one embedding row: each
+    /// load step covers `dw` adjacent floats (≤ 128 B per transaction).
+    pub fn transactions_per_row(&self) -> u64 {
+        self.dims_per_worker() as u64
+    }
+
+    /// Whole groups (teams) that fit in one warp.
+    pub fn groups_per_warp(&self) -> u32 {
+        (WARP_SIZE / self.workers).max(1)
+    }
+
+    /// Per-lane compute cycles to accumulate `neighbors` rows: one FMA per
+    /// element handled by the lane.
+    pub fn lane_cycles(&self, neighbors: usize) -> u64 {
+        neighbors as u64 * self.dims_per_worker() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(DimensionPlan::new(0, 16).workers, 1);
+        assert_eq!(DimensionPlan::new(64, 16).workers, 32);
+    }
+
+    #[test]
+    fn dims_split_evenly() {
+        let p = DimensionPlan::new(16, 64);
+        assert_eq!(p.dims_per_worker(), 4);
+        assert_eq!(p.transactions_per_row(), 4);
+        assert_eq!(p.groups_per_warp(), 2);
+    }
+
+    #[test]
+    fn ragged_dimensions_round_up() {
+        let p = DimensionPlan::new(16, 17);
+        assert_eq!(
+            p.dims_per_worker(),
+            2,
+            "17 dims over 16 workers needs 2 each"
+        );
+    }
+
+    #[test]
+    fn overprovisioned_workers_idle() {
+        let p = DimensionPlan::new(32, 8);
+        assert_eq!(p.active_workers(), 8, "only 8 of 32 lanes get a dimension");
+        assert_eq!(p.dims_per_worker(), 1);
+    }
+
+    #[test]
+    fn more_workers_fewer_transactions() {
+        let few = DimensionPlan::new(2, 64);
+        let many = DimensionPlan::new(32, 64);
+        assert!(few.transactions_per_row() > many.transactions_per_row());
+        assert_eq!(many.transactions_per_row(), 2);
+    }
+
+    #[test]
+    fn lane_cycles_scale_with_neighbors() {
+        let p = DimensionPlan::new(8, 32);
+        assert_eq!(p.lane_cycles(5), 5 * 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Group-based workload partitioning (Section 5.1).
+//!
+//! The neighbors of each node are broken into groups of at most
+//! `group_size`; each group becomes the intra-group aggregation workload of
+//! one thread (team). Groups of the same node appear consecutively, which
+//! the leader-node scheme (Section 5.2) and Algorithm 1 rely on.
+
+use gnnadvisor_graph::{Csr, NodeId};
+
+use crate::{CoreError, Result};
+
+/// One neighbor group: the aggregation workload of a single thread (team).
+///
+/// `start..end` index into the graph's `col_idx` array, so the group's
+/// neighbor ids are `csr.col_idx()[start..end]` and its target node is
+/// `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborGroup {
+    /// The node this group aggregates into (the paper's "center node").
+    pub node: NodeId,
+    /// First edge index (inclusive) in `col_idx`.
+    pub start: u32,
+    /// Last edge index (exclusive).
+    pub end: u32,
+}
+
+impl NeighborGroup {
+    /// Number of neighbors in this group.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the group is empty (never produced by the partitioner).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Splits every node's neighbor list into groups of at most `group_size`.
+///
+/// Nodes with zero neighbors produce no groups (their aggregation result is
+/// the zero vector, written by the epilogue). The concatenation of all
+/// groups covers every edge exactly once, in CSR order — a property the
+/// test suite checks with proptest.
+///
+/// # Examples
+///
+/// ```
+/// use gnnadvisor_core::workload::group::partition_groups;
+/// use gnnadvisor_graph::GraphBuilder;
+///
+/// // A star: the hub has 5 neighbors, each leaf has 1.
+/// let g = GraphBuilder::new(6).star(0, &[1, 2, 3, 4, 5]).build().unwrap();
+/// let groups = partition_groups(&g, 2).unwrap();
+/// // Hub splits into ceil(5/2) = 3 groups; each leaf is one group.
+/// assert_eq!(groups.len(), 3 + 5);
+/// assert!(groups.iter().all(|grp| grp.len() <= 2));
+/// ```
+pub fn partition_groups(graph: &Csr, group_size: usize) -> Result<Vec<NeighborGroup>> {
+    if group_size == 0 {
+        return Err(CoreError::InvalidParams {
+            reason: "group_size must be > 0".into(),
+        });
+    }
+    let mut groups = Vec::with_capacity(graph.num_edges() / group_size + graph.num_nodes() / 2 + 1);
+    let row_ptr = graph.row_ptr();
+    for v in 0..graph.num_nodes() {
+        let (s, e) = (row_ptr[v], row_ptr[v + 1]);
+        let mut g = s;
+        while g < e {
+            let end = (g + group_size).min(e);
+            groups.push(NeighborGroup {
+                node: v as NodeId,
+                start: g as u32,
+                end: end as u32,
+            });
+            g = end;
+        }
+    }
+    Ok(groups)
+}
+
+/// Workload statistics over a group partition, used by tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStats {
+    /// Number of groups (threads).
+    pub num_groups: usize,
+    /// Largest group size.
+    pub max_len: usize,
+    /// Fraction of groups that are exactly `group_size` long.
+    pub full_fraction: f64,
+}
+
+impl GroupStats {
+    /// Computes statistics for a partition produced with `group_size`.
+    pub fn of(groups: &[NeighborGroup], group_size: usize) -> Self {
+        let num_groups = groups.len();
+        let max_len = groups.iter().map(NeighborGroup::len).max().unwrap_or(0);
+        let full = groups.iter().filter(|g| g.len() == group_size).count();
+        Self {
+            num_groups,
+            max_len,
+            full_fraction: if num_groups == 0 {
+                0.0
+            } else {
+                full as f64 / num_groups as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnadvisor_graph::generators::barabasi_albert;
+    use gnnadvisor_graph::GraphBuilder;
+
+    #[test]
+    fn groups_cover_all_edges_in_order() {
+        let g = barabasi_albert(200, 3, 1).expect("valid");
+        let groups = partition_groups(&g, 4).expect("valid");
+        let mut cursor = 0u32;
+        for grp in &groups {
+            assert_eq!(grp.start, cursor, "groups must tile col_idx contiguously");
+            assert!(!grp.is_empty() && grp.len() <= 4);
+            cursor = grp.end;
+        }
+        assert_eq!(cursor as usize, g.num_edges());
+    }
+
+    #[test]
+    fn group_count_matches_ceil_division() {
+        let g = GraphBuilder::new(3)
+            .star(0, &[1, 2])
+            .build()
+            .expect("valid");
+        // Node 0 has 2 neighbors, nodes 1 and 2 have 1 each.
+        let groups = partition_groups(&g, 2).expect("valid");
+        assert_eq!(groups.len(), 3);
+        let groups = partition_groups(&g, 1).expect("valid");
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn groups_of_same_node_are_consecutive() {
+        let g = barabasi_albert(100, 5, 2).expect("valid");
+        let groups = partition_groups(&g, 2).expect("valid");
+        let mut last_node_end: std::collections::HashMap<NodeId, bool> = Default::default();
+        let mut prev: Option<NodeId> = None;
+        for grp in &groups {
+            if prev != Some(grp.node) {
+                assert!(
+                    !last_node_end.contains_key(&grp.node),
+                    "node {} groups are split by another node's groups",
+                    grp.node
+                );
+                if let Some(p) = prev {
+                    last_node_end.insert(p, true);
+                }
+                prev = Some(grp.node);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_improves_with_grouping() {
+        let g = GraphBuilder::new(65)
+            .star(0, &(1..65).collect::<Vec<_>>())
+            .build()
+            .expect("valid");
+        // Node-centric: max workload is 64; with group_size 4 the max is 4.
+        let groups = partition_groups(&g, 4).expect("valid");
+        let stats = GroupStats::of(&groups, 4);
+        assert_eq!(stats.max_len, 4);
+        assert!(stats.full_fraction > 0.1);
+    }
+
+    #[test]
+    fn zero_group_size_rejected() {
+        let g = GraphBuilder::new(2)
+            .undirected_edge(0, 1)
+            .build()
+            .expect("valid");
+        assert!(partition_groups(&g, 0).is_err());
+    }
+
+    #[test]
+    fn isolated_nodes_produce_no_groups() {
+        let g = GraphBuilder::new(5)
+            .undirected_edge(0, 1)
+            .build()
+            .expect("valid");
+        let groups = partition_groups(&g, 8).expect("valid");
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|grp| !grp.is_empty()));
+    }
+}

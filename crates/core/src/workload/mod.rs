@@ -1,0 +1,18 @@
+//! Group-based workload management (Section 5).
+//!
+//! - [`group`]: group-based partitioning (Section 5.1) — neighbor lists are
+//!   split into fixed-size groups, one per thread, with the leader-node
+//!   scheme (Section 5.2) implied by group ownership.
+//! - [`mapping`]: block-based mapping (Section 5.3) — groups are packed
+//!   into thread blocks.
+//! - [`dimension`]: dimension-based workload sharing (Section 5.4) — a
+//!   group's element-wise work is spread over `dw` adjacent lanes covering
+//!   adjacent dimensions (the coalescing-friendly layout of Figure 6b).
+
+pub mod dimension;
+pub mod group;
+pub mod mapping;
+
+pub use dimension::DimensionPlan;
+pub use group::{partition_groups, NeighborGroup};
+pub use mapping::BlockMapping;

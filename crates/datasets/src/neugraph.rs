@@ -1,0 +1,81 @@
+//! The NeuGraph-comparison datasets (Table 2).
+//!
+//! The paper's Table 2 uses "the same set of inputs as NeuGraph": reddit-
+//! full, enwiki, and amazon. Their statistics are not printed in the
+//! GNNAdvisor paper; the node/edge/dimension figures below are taken from
+//! the NeuGraph paper's dataset table (ATC'19) and are approximations at
+//! the fidelity the Table 2 reproduction needs — graphs large enough that
+//! features exceed device memory and streaming becomes mandatory.
+
+use crate::registry::{DatasetSpec, DatasetType};
+
+/// reddit-full: the Reddit post graph with full 602-dim features.
+pub const REDDIT_FULL: DatasetSpec = DatasetSpec {
+    name: "reddit-full",
+    num_nodes: 232_965,
+    num_edges: 114_615_892,
+    feat_dim: 602,
+    num_classes: 41,
+    ty: DatasetType::TypeIII,
+    mean_cluster: 300,
+    cluster_cv: 0.5,
+};
+
+/// enwiki: the English Wikipedia link graph with 300-dim embeddings.
+pub const ENWIKI: DatasetSpec = DatasetSpec {
+    name: "enwiki",
+    num_nodes: 3_598_623,
+    num_edges: 276_110_172,
+    feat_dim: 300,
+    num_classes: 12,
+    ty: DatasetType::TypeIII,
+    mean_cluster: 500,
+    cluster_cv: 0.6,
+};
+
+/// amazon: the Amazon product co-purchase graph with 300-dim embeddings.
+pub const AMAZON: DatasetSpec = DatasetSpec {
+    name: "amazon",
+    num_nodes: 8_601_204,
+    num_edges: 231_594_310,
+    feat_dim: 300,
+    num_classes: 22,
+    ty: DatasetType::TypeIII,
+    mean_cluster: 400,
+    cluster_cv: 0.5,
+};
+
+/// The three Table 2 benchmarks in paper order.
+pub fn table2_datasets() -> [DatasetSpec; 3] {
+    [REDDIT_FULL, ENWIKI, AMAZON]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_exceed_gnn_framework_scale() {
+        // Every Table 2 graph carries >100M directed edges — the regime
+        // where NeuGraph's chunk streaming is mandatory.
+        for d in table2_datasets() {
+            assert!(d.num_edges > 100_000_000, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn feature_matrices_exceed_p6000_memory_at_full_scale() {
+        // enwiki: 3.6M x 300 x 4 B > 4 GB of activations across layers plus
+        // edge buffers — streaming territory. (Sanity of the substitution.)
+        let bytes = ENWIKI.num_nodes as u64 * ENWIKI.feat_dim as u64 * 4;
+        assert!(bytes > 4_000_000_000u64 / 2);
+    }
+
+    #[test]
+    fn generate_at_tiny_scale() {
+        for d in table2_datasets() {
+            let g = d.generate(0.001).expect("valid").graph;
+            assert!(g.num_nodes() > 0 && g.num_edges() > 0, "{}", d.name);
+        }
+    }
+}

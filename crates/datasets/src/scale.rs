@@ -1,0 +1,45 @@
+//! Proportional dataset scaling.
+
+/// Scales `(nodes, edges)` by `scale` in `(0, 1]`, clamping to sane minima
+/// so even extreme scales produce a usable graph.
+///
+/// # Panics
+///
+/// Panics if `scale` is not in `(0, 1]`.
+pub fn scaled_counts(nodes: usize, edges: usize, scale: f64) -> (usize, usize) {
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "scale {scale} must lie in (0, 1]"
+    );
+    let n = ((nodes as f64 * scale).round() as usize).max(16);
+    let e = ((edges as f64 * scale).round() as usize).max(32);
+    // Edge count cannot exceed what the node count supports.
+    (n, e.min(n * (n - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_one() {
+        assert_eq!(scaled_counts(1000, 5000, 1.0), (1000, 5000));
+    }
+
+    #[test]
+    fn proportional() {
+        assert_eq!(scaled_counts(1000, 5000, 0.1), (100, 500));
+    }
+
+    #[test]
+    fn floors_apply() {
+        let (n, e) = scaled_counts(100, 300, 0.01);
+        assert!(n >= 16 && e >= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn zero_scale_panics() {
+        scaled_counts(10, 10, 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Set-associative LRU cache model.
+//!
+//! One shared cache level stands in for the L1 + L2 + texture hierarchy the
+//! paper profiles ("Cache (L1 + L2 + Texture) Hit Rate", Figure 9b). Blocks
+//! are simulated in dispatch order against this single cache, so temporal
+//! locality across nearby blocks — precisely what community-aware node
+//! renumbering creates — turns into hits, and the hit-rate / DRAM-byte
+//! metrics respond to renumbering the way the paper's Figure 12 shows.
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched from DRAM (and inserted).
+    Miss,
+}
+
+/// A set-associative cache with true-LRU replacement over 64-bit line
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `sets[s]` holds up to `ways` line tags in LRU order (front = MRU).
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache with the given geometry. `num_sets` and `ways` must
+    /// be non-zero; `line_bytes` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn new(num_sets: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "cache geometry must be non-zero");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_bytes: line_bytes as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses one byte address; the whole containing line is touched.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            Access::Hit
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Accesses every line overlapping `[addr, addr + bytes)`, returning the
+    /// number of lines that missed.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> (u64, u64) {
+        if bytes == 0 {
+            return (0, 0);
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        let mut hits = 0;
+        let mut misses = 0;
+        for line in first..=last {
+            match self.access(line * self.line_bytes) {
+                Access::Hit => hits += 1,
+                Access::Miss => misses += 1,
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero accesses count as 0.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Resets counters but keeps resident lines (used between kernels of
+    /// one run, where data stays warm on a real device too).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(32), Access::Hit, "same line");
+        assert_eq!(c.access(64), Access::Miss, "next line");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // One set, two ways: lines 0 and 1 fit; touching 2 evicts LRU.
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.access(0); // miss, set = [0]
+        c.access(64); // miss, set = [1, 0]
+        c.access(0); // hit, set = [0, 1]
+        assert_eq!(c.access(128), Access::Miss); // evicts line 1
+        assert_eq!(c.access(0), Access::Hit, "line 0 was MRU and survives");
+        assert_eq!(c.access(64), Access::Miss, "line 1 was evicted");
+    }
+
+    #[test]
+    fn sets_isolate_addresses() {
+        let mut c = SetAssocCache::new(2, 1, 64);
+        c.access(0); // set 0
+        c.access(64); // set 1
+        assert_eq!(c.access(0), Access::Hit, "different sets don't conflict");
+    }
+
+    #[test]
+    fn access_range_counts_lines() {
+        let mut c = SetAssocCache::new(16, 4, 64);
+        let (h, m) = c.access_range(0, 256);
+        assert_eq!((h, m), (0, 4));
+        let (h, m) = c.access_range(0, 256);
+        assert_eq!((h, m), (4, 0));
+        // A one-byte access at a line boundary touches one line.
+        let (h, m) = c.access_range(1024, 1);
+        assert_eq!((h, m), (0, 1));
+        // Zero-byte access touches nothing.
+        assert_eq!(c.access_range(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn hit_rate_accumulates() {
+        let mut c = SetAssocCache::new(4, 4, 64);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        c.reset_counters();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert_eq!(c.access(0), Access::Hit, "contents survive counter reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_rejected() {
+        SetAssocCache::new(4, 4, 96);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic event-level GPU execution simulator.
+//!
+//! This crate is the reproduction's substitute for physical CUDA hardware
+//! (the paper evaluates on a Quadro P6000 and a Tesla V100). Kernels are
+//! expressed as *op-stream emitters*: for every thread block they emit a
+//! per-warp sequence of abstract operations (compute, global reads/writes,
+//! shared-memory traffic, atomics, barriers). The [`engine::Engine`]
+//! consumes the stream and produces [`metrics::KernelMetrics`] with the
+//! same quantities the paper measures via NVProf:
+//!
+//! - elapsed cycles / milliseconds,
+//! - DRAM read/write bytes (through a set-associative LRU cache),
+//! - cache hit rate,
+//! - atomic-operation counts and serialization stalls,
+//! - SM efficiency (useful issue cycles over elapsed × #SMs).
+//!
+//! Everything architectural that the paper's optimizations exploit is
+//! modeled: warp lockstep (divergence costs the max over lanes), memory
+//! coalescing (uncoalesced warps issue per-lane transactions), per-block
+//! shared memory with capacity limits, atomic contention hotspots, block →
+//! SM scheduling with tail imbalance, and host↔device transfers for
+//! streaming baselines. Nothing is sampled from a clock or an unseeded RNG:
+//! identical inputs produce identical metrics.
+
+pub mod cache;
+pub mod device_memory;
+pub mod engine;
+pub mod kernel;
+pub mod metrics;
+pub mod spec;
+pub mod transfer;
+
+pub use device_memory::DeviceMemory;
+pub use engine::Engine;
+pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
+pub use metrics::{KernelMetrics, Limiter, RunMetrics};
+pub use spec::GpuSpec;
+pub use transfer::TransferMetrics;
+
+/// Errors produced when a kernel's launch configuration violates the
+/// simulated device's limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// `threads_per_block` exceeds the device maximum or is zero.
+    InvalidBlockSize {
+        /// Requested threads per block.
+        requested: u32,
+        /// Device maximum.
+        max: u32,
+    },
+    /// Requested per-block shared memory exceeds the device limit.
+    SharedMemoryOverflow {
+        /// Requested bytes per block.
+        requested: usize,
+        /// Device limit in bytes.
+        limit: usize,
+    },
+    /// The grid is empty (zero blocks).
+    EmptyGrid,
+}
+
+impl core::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GpuError::InvalidBlockSize { requested, max } => {
+                write!(f, "invalid block size {requested} (device max {max})")
+            }
+            GpuError::SharedMemoryOverflow { requested, limit } => {
+                write!(
+                    f,
+                    "shared memory request {requested} B exceeds per-block limit {limit} B"
+                )
+            }
+            GpuError::EmptyGrid => write!(f, "kernel launched with an empty grid"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Crate-local result alias.
+pub type Result<T> = core::result::Result<T, GpuError>;

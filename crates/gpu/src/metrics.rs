@@ -1,0 +1,220 @@
+//! Kernel and run metrics — the simulator's NVProf.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of a single kernel launch, mirroring the NVProf counters the
+/// paper reports (Section 8.1.4, Figure 9, Figure 12).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Kernel name for reports.
+    pub name: String,
+    /// Elapsed device cycles including launch overhead.
+    pub elapsed_cycles: u64,
+    /// Elapsed wall time in milliseconds at the device clock.
+    pub time_ms: f64,
+    /// Bytes read from DRAM (cache misses × line size).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Cache hits across the kernel.
+    pub l2_hits: u64,
+    /// Cache misses across the kernel.
+    pub l2_misses: u64,
+    /// Atomic read-modify-write operations issued.
+    pub atomic_ops: u64,
+    /// Extra cycles lost to atomic serialization on hot addresses.
+    pub atomic_serialization_cycles: u64,
+    /// Shared-memory bytes moved.
+    pub shared_bytes: u64,
+    /// Useful lane-cycles issued (numerator of SM efficiency).
+    pub useful_cycles: u64,
+    /// Thread blocks launched.
+    pub num_blocks: u64,
+    /// SM efficiency in `[0, 1]`: useful issue time over elapsed × #SMs.
+    pub sm_efficiency: f64,
+    /// Which resource bound the kernel's elapsed time (roofline verdict).
+    pub limiter: Limiter,
+}
+
+/// The resource that determined a kernel's elapsed time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Per-SM work (compute issue, memory latency, imbalance tails).
+    #[default]
+    SmTime,
+    /// Aggregate DRAM bandwidth.
+    DeviceBandwidth,
+    /// Serialization on the hottest atomic address.
+    AtomicHotspot,
+    /// Fixed launch overhead dominates (kernel too small).
+    LaunchOverhead,
+}
+
+impl Limiter {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Limiter::SmTime => "sm-time",
+            Limiter::DeviceBandwidth => "bandwidth",
+            Limiter::AtomicHotspot => "atomics",
+            Limiter::LaunchOverhead => "launch",
+        }
+    }
+}
+
+impl KernelMetrics {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Aggregated metrics of a multi-kernel run (e.g. a full GNN forward pass):
+/// kernel compute plus host↔device transfer time, split the way Table 2
+/// reports NeuGraph ("Mem.IO" vs "Comp.").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Sum of kernel elapsed times, ms ("Comp." in Table 2).
+    pub compute_ms: f64,
+    /// Sum of host↔device transfer times, ms ("Mem.IO" in Table 2).
+    pub transfer_ms: f64,
+    /// Per-kernel breakdown in launch order.
+    pub kernels: Vec<KernelMetrics>,
+    /// Total bytes moved over PCIe.
+    pub transfer_bytes: u64,
+}
+
+impl RunMetrics {
+    /// End-to-end time (compute + transfers), ms.
+    pub fn total_ms(&self) -> f64 {
+        self.compute_ms + self.transfer_ms
+    }
+
+    /// Folds a kernel's metrics into the run.
+    pub fn push_kernel(&mut self, k: KernelMetrics) {
+        self.compute_ms += k.time_ms;
+        self.kernels.push(k);
+    }
+
+    /// Folds a transfer into the run.
+    pub fn push_transfer(&mut self, t: crate::transfer::TransferMetrics) {
+        self.transfer_ms += t.time_ms;
+        self.transfer_bytes += t.bytes;
+    }
+
+    /// Merges another run (e.g. a later layer) into this one.
+    pub fn merge(&mut self, other: RunMetrics) {
+        self.compute_ms += other.compute_ms;
+        self.transfer_ms += other.transfer_ms;
+        self.transfer_bytes += other.transfer_bytes;
+        self.kernels.extend(other.kernels);
+    }
+
+    /// Total DRAM traffic across all kernels, bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.kernels.iter().map(KernelMetrics::dram_bytes).sum()
+    }
+
+    /// Total atomic operations across all kernels.
+    pub fn atomic_ops(&self) -> u64 {
+        self.kernels.iter().map(|k| k.atomic_ops).sum()
+    }
+
+    /// Elapsed-cycles-weighted mean SM efficiency across kernels.
+    pub fn mean_sm_efficiency(&self) -> f64 {
+        let total: u64 = self.kernels.iter().map(|k| k.elapsed_cycles).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.kernels
+            .iter()
+            .map(|k| k.sm_efficiency * k.elapsed_cycles as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Hit-count-weighted cache hit rate across kernels.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.kernels.iter().map(|k| k.l2_hits).sum();
+        let misses: u64 = self.kernels.iter().map(|k| k.l2_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(ms: f64, hits: u64, misses: u64) -> KernelMetrics {
+        KernelMetrics {
+            name: "k".into(),
+            time_ms: ms,
+            elapsed_cycles: (ms * 1000.0) as u64,
+            l2_hits: hits,
+            l2_misses: misses,
+            sm_efficiency: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_rate() {
+        assert_eq!(kernel(1.0, 0, 0).cache_hit_rate(), 0.0);
+        assert!((kernel(1.0, 3, 1).cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_accumulates() {
+        let mut run = RunMetrics::default();
+        run.push_kernel(kernel(2.0, 10, 10));
+        run.push_kernel(kernel(3.0, 30, 10));
+        run.push_transfer(crate::transfer::TransferMetrics {
+            bytes: 100,
+            time_ms: 1.5,
+        });
+        assert!((run.compute_ms - 5.0).abs() < 1e-12);
+        assert!((run.transfer_ms - 1.5).abs() < 1e-12);
+        assert!((run.total_ms() - 6.5).abs() < 1e-12);
+        assert!((run.cache_hit_rate() - 40.0 / 60.0).abs() < 1e-12);
+        assert_eq!(run.transfer_bytes, 100);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = RunMetrics::default();
+        a.push_kernel(kernel(1.0, 1, 1));
+        let mut b = RunMetrics::default();
+        b.push_kernel(kernel(2.0, 2, 2));
+        a.merge(b);
+        assert_eq!(a.kernels.len(), 2);
+        assert!((a.compute_ms - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sm_efficiency() {
+        let mut run = RunMetrics::default();
+        let mut k1 = kernel(1.0, 0, 0);
+        k1.sm_efficiency = 1.0;
+        k1.elapsed_cycles = 100;
+        let mut k2 = kernel(1.0, 0, 0);
+        k2.sm_efficiency = 0.0;
+        k2.elapsed_cycles = 300;
+        run.push_kernel(k1);
+        run.push_kernel(k2);
+        assert!((run.mean_sm_efficiency() - 0.25).abs() < 1e-12);
+    }
+}

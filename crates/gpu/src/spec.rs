@@ -1,0 +1,213 @@
+//! Simulated device specifications.
+//!
+//! The two presets carry the paper's Table 3 hardware: the Quadro P6000
+//! used for the main evaluation and the Tesla V100 used for the
+//! data-center case study (Figure 13c). Latency constants are not in
+//! Table 3; they use representative published values for the respective
+//! architectures and are identical across presets except where the
+//! architecture genuinely differs, so cross-device comparisons reflect the
+//! Table 3 resources (SMs, bandwidth, cache) rather than tuning.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"Quadro P6000"`.
+    pub name: String,
+    /// Microarchitecture, e.g. `"Pascal"`.
+    pub architecture: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Total CUDA cores across the device.
+    pub cuda_cores: u32,
+    /// Core clock in GHz; converts cycles to wall time.
+    pub clock_ghz: f64,
+    /// L2 cache capacity in bytes (the simulator's single cache level,
+    /// standing in for the L1+L2+texture hierarchy the paper profiles).
+    pub l2_bytes: usize,
+    /// L2 associativity (ways per set).
+    pub l2_ways: usize,
+    /// Cache-line / memory-transaction size in bytes.
+    pub line_bytes: usize,
+    /// Shared memory available to one block, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM — with `threads_per_block`, this
+    /// bounds how many blocks co-reside on an SM, which in turn bounds
+    /// memory-latency hiding (big blocks lower occupancy).
+    pub max_threads_per_sm: u32,
+    /// Fixed dispatch/teardown cost per thread block in cycles (small
+    /// blocks launch many of these).
+    pub block_overhead_cycles: u64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// DRAM access latency in cycles.
+    pub dram_latency_cycles: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency_cycles: u64,
+    /// Shared-memory access latency in cycles.
+    pub shared_latency_cycles: u64,
+    /// Cost of issuing one atomic operation from a warp, in cycles.
+    pub atomic_latency_cycles: u64,
+    /// Additional serialization cost per conflicting atomic on the same
+    /// address, in cycles.
+    pub atomic_serialize_cycles: u64,
+    /// Fixed per-kernel launch overhead in cycles.
+    pub kernel_launch_cycles: u64,
+    /// Cost of one `__syncthreads` barrier, in cycles.
+    pub sync_cycles: u64,
+    /// Issue cost of one memory transaction from a warp, in cycles.
+    pub transaction_issue_cycles: u64,
+    /// Warp instruction schedulers per SM (issue width in warps/cycle).
+    pub warp_schedulers: u32,
+    /// How many outstanding memory requests a block can overlap; divides
+    /// memory stall latency (latency hiding).
+    pub memory_parallelism: u64,
+    /// Host↔device (PCIe) bandwidth in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// Host↔device transfer fixed latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// Fraction of peak FLOPs a dense tuned GEMM achieves (cuBLAS-like).
+    pub gemm_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// The paper's primary platform (Table 3 row 1): Pascal, 30 SMs,
+    /// 3840 CUDA cores, 1.506 GHz, 12 TFLOPs, 3 MB L2, 432 GB/s.
+    pub fn quadro_p6000() -> Self {
+        Self {
+            name: "Quadro P6000".into(),
+            architecture: "Pascal".into(),
+            num_sms: 30,
+            cuda_cores: 3840,
+            clock_ghz: 1.506,
+            l2_bytes: 3 * 1024 * 1024,
+            l2_ways: 16,
+            line_bytes: 128,
+            shared_mem_per_block: 48 * 1024,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            block_overhead_cycles: 120,
+            dram_bandwidth_gbps: 432.0,
+            dram_latency_cycles: 400,
+            l2_latency_cycles: 90,
+            shared_latency_cycles: 24,
+            atomic_latency_cycles: 40,
+            atomic_serialize_cycles: 12,
+            kernel_launch_cycles: 6000,
+            sync_cycles: 40,
+            transaction_issue_cycles: 4,
+            warp_schedulers: 4,
+            memory_parallelism: 8,
+            pcie_bandwidth_gbps: 12.0,
+            pcie_latency_us: 10.0,
+            gemm_efficiency: 0.6,
+        }
+    }
+
+    /// The data-center platform (Table 3 row 2): Volta, 80 SMs, 5120 CUDA
+    /// cores, 1.530 GHz, 14 TFLOPs, 6 MB L2, 900 GB/s.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "Tesla V100".into(),
+            architecture: "Volta".into(),
+            num_sms: 80,
+            cuda_cores: 5120,
+            clock_ghz: 1.530,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_ways: 16,
+            line_bytes: 128,
+            shared_mem_per_block: 48 * 1024,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            block_overhead_cycles: 110,
+            dram_bandwidth_gbps: 900.0,
+            dram_latency_cycles: 375,
+            l2_latency_cycles: 80,
+            shared_latency_cycles: 20,
+            atomic_latency_cycles: 36,
+            atomic_serialize_cycles: 10,
+            kernel_launch_cycles: 6000,
+            sync_cycles: 35,
+            transaction_issue_cycles: 4,
+            warp_schedulers: 4,
+            memory_parallelism: 10,
+            pcie_bandwidth_gbps: 12.0,
+            pcie_latency_us: 10.0,
+            gemm_efficiency: 0.65,
+        }
+    }
+
+    /// CUDA cores per SM.
+    pub fn cores_per_sm(&self) -> u32 {
+        self.cuda_cores / self.num_sms
+    }
+
+    /// Peak FMA throughput in FLOPs per cycle across the device
+    /// (2 FLOPs per core-cycle).
+    pub fn flops_per_cycle(&self) -> f64 {
+        2.0 * self.cuda_cores as f64
+    }
+
+    /// Peak single-precision throughput in TFLOPs (sanity-check against the
+    /// Table 3 "Throughput" column).
+    pub fn peak_tflops(&self) -> f64 {
+        self.flops_per_cycle() * self.clock_ghz / 1000.0
+    }
+
+    /// DRAM bytes the whole device can move per core cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_gbps / self.clock_ghz
+    }
+
+    /// Converts a cycle count to milliseconds at the core clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e6)
+    }
+
+    /// Number of L2 sets implied by capacity, ways and line size.
+    pub fn l2_sets(&self) -> usize {
+        (self.l2_bytes / self.line_bytes / self.l2_ways).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p6000_matches_table3() {
+        let s = GpuSpec::quadro_p6000();
+        assert_eq!(s.num_sms, 30);
+        assert_eq!(s.cuda_cores, 3840);
+        assert_eq!(s.cores_per_sm(), 128);
+        // Table 3 reports 12 TFLOPs peak.
+        assert!(
+            (s.peak_tflops() - 12.0).abs() < 0.5,
+            "peak = {}",
+            s.peak_tflops()
+        );
+        assert_eq!(s.l2_bytes, 3 * 1024 * 1024);
+    }
+
+    #[test]
+    fn v100_matches_table3() {
+        let s = GpuSpec::tesla_v100();
+        assert_eq!(s.num_sms, 80);
+        assert_eq!(s.cuda_cores, 5120);
+        // Table 3 reports 14 TFLOPs peak; 5120 cores * 2 * 1.53 = 15.7 —
+        // the marketing figure undersells; accept the band.
+        assert!(s.peak_tflops() > 13.0 && s.peak_tflops() < 16.5);
+        assert!(s.dram_bandwidth_gbps / GpuSpec::quadro_p6000().dram_bandwidth_gbps > 2.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = GpuSpec::quadro_p6000();
+        assert!(s.dram_bytes_per_cycle() > 200.0);
+        assert!(s.l2_sets() >= 1024);
+        assert!((s.cycles_to_ms(1_506_000) - 1.0).abs() < 1e-9);
+    }
+}

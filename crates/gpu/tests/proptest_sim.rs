@@ -1,0 +1,129 @@
+//! Property-based tests on the GPU simulator's invariants.
+
+use proptest::prelude::*;
+
+use gnnadvisor_gpu::cache::SetAssocCache;
+use gnnadvisor_gpu::kernel::WARP_SIZE;
+use gnnadvisor_gpu::{ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel};
+
+/// A kernel generated from a compact description: per block, a list of
+/// warps; per warp, (compute cycles, read offset, read bytes, atomics).
+#[derive(Debug, Clone)]
+struct ScriptKernel {
+    tpb: u32,
+    blocks: Vec<Vec<(u64, u64, u64, u64)>>,
+}
+
+impl Kernel for ScriptKernel {
+    fn name(&self) -> &str {
+        "script"
+    }
+    fn grid(&self) -> GridConfig {
+        GridConfig {
+            num_blocks: self.blocks.len().max(1),
+            threads_per_block: self.tpb,
+            shared_mem_bytes: 0,
+        }
+    }
+    fn emit_block(&self, block_id: usize, sink: &mut BlockSink<'_>) {
+        for &(cycles, offset, bytes, atomics) in &self.blocks[block_id] {
+            sink.begin_warp();
+            sink.compute(cycles, WARP_SIZE);
+            sink.global_read(ArrayId(0), offset, bytes);
+            if atomics > 0 {
+                sink.atomic_rmw(ArrayId(1), offset % 4096, 64, atomics);
+            }
+        }
+    }
+}
+
+fn arb_kernel() -> impl Strategy<Value = ScriptKernel> {
+    let warp = (0u64..500, 0u64..100_000, 0u64..2048, 0u64..20);
+    let block = proptest::collection::vec(warp, 1..6);
+    (
+        proptest::collection::vec(block, 1..20),
+        prop_oneof![Just(32u32), Just(128), Just(256)],
+    )
+        .prop_map(|(blocks, tpb)| ScriptKernel { tpb, blocks })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator is deterministic: identical kernels produce identical
+    /// metrics, on either device preset.
+    #[test]
+    fn engine_is_deterministic(k in arb_kernel()) {
+        for spec in [GpuSpec::quadro_p6000(), GpuSpec::tesla_v100()] {
+            let engine = Engine::new(spec);
+            let a = engine.run(&k).expect("runs");
+            let b = engine.run(&k).expect("runs");
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Conservation: hits + misses equals total line touches; DRAM read
+    /// bytes equal misses times the line size; elapsed always covers the
+    /// launch overhead; SM efficiency stays in [0, 1].
+    #[test]
+    fn metric_conservation(k in arb_kernel()) {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let m = engine.run(&k).expect("runs");
+        let line = engine.spec().line_bytes as u64;
+        prop_assert!(m.dram_read_bytes <= (m.l2_misses) * line);
+        prop_assert!(m.elapsed_cycles >= engine.spec().kernel_launch_cycles);
+        prop_assert!((0.0..=1.0).contains(&m.sm_efficiency));
+        prop_assert!(m.time_ms > 0.0);
+        prop_assert_eq!(m.num_blocks as usize, k.blocks.len().max(1));
+    }
+
+    /// Monotonicity: appending a block never makes the kernel faster.
+    #[test]
+    fn more_blocks_never_faster(k in arb_kernel()) {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let base = engine.run(&k).expect("runs");
+        let mut bigger = k.clone();
+        let extra = bigger.blocks[0].clone();
+        // Duplicate every block once: strictly more work on every SM.
+        let blocks = bigger.blocks.clone();
+        bigger.blocks.extend(blocks);
+        bigger.blocks.push(extra);
+        let m = engine.run(&bigger).expect("runs");
+        prop_assert!(m.elapsed_cycles >= base.elapsed_cycles,
+            "{} < {}", m.elapsed_cycles, base.elapsed_cycles);
+    }
+
+    /// Cache conservation under arbitrary access sequences.
+    #[test]
+    fn cache_counts_balance(accesses in proptest::collection::vec((0u64..1_000_000, 1u64..512), 1..300)) {
+        let mut cache = SetAssocCache::new(64, 4, 128);
+        let mut touched = 0u64;
+        for (addr, bytes) in accesses {
+            let (h, m) = cache.access_range(addr, bytes);
+            let first = addr / 128;
+            let last = (addr + bytes - 1) / 128;
+            prop_assert_eq!(h + m, last - first + 1);
+            touched += h + m;
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), touched);
+        prop_assert!(cache.hit_rate() >= 0.0 && cache.hit_rate() <= 1.0);
+    }
+
+    /// Transfers price monotonically in bytes.
+    #[test]
+    fn transfer_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(engine.run_transfer(lo).time_ms <= engine.run_transfer(hi).time_ms);
+    }
+
+    /// GEMM cost grows (weakly) in every dimension.
+    #[test]
+    fn gemm_monotone(m in 1usize..2000, n in 1usize..256, kk in 1usize..256) {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let base = engine.run_gemm(m, n, kk).elapsed_cycles;
+        prop_assert!(engine.run_gemm(m * 2, n, kk).elapsed_cycles >= base);
+        prop_assert!(engine.run_gemm(m, n * 2, kk).elapsed_cycles >= base);
+        prop_assert!(engine.run_gemm(m, n, kk * 2).elapsed_cycles >= base);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ergonomic graph construction helper used by tests and examples.
+
+use crate::csr::{Csr, NodeId};
+use crate::{EdgeList, Result};
+
+/// A small fluent builder over [`EdgeList`] for hand-written graphs.
+///
+/// # Examples
+///
+/// ```
+/// use gnnadvisor_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .undirected_edge(0, 1)
+///     .undirected_edge(1, 2)
+///     .undirected_edge(2, 3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 6);
+/// assert!(g.is_symmetric());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+}
+
+impl GraphBuilder {
+    /// A builder over `num_nodes` nodes with no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            edges: EdgeList::new(num_nodes),
+        }
+    }
+
+    /// Adds a directed edge.
+    #[must_use]
+    pub fn edge(mut self, src: NodeId, dst: NodeId) -> Self {
+        self.edges.push(src, dst);
+        self
+    }
+
+    /// Adds an undirected edge (both directions).
+    #[must_use]
+    pub fn undirected_edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.edges.push_undirected(u, v);
+        self
+    }
+
+    /// Adds a clique over the given nodes (all pairs, both directions).
+    #[must_use]
+    pub fn clique(mut self, nodes: &[NodeId]) -> Self {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                self.edges.push_undirected(u, v);
+            }
+        }
+        self
+    }
+
+    /// Adds an undirected path through the given nodes in order.
+    #[must_use]
+    pub fn path(mut self, nodes: &[NodeId]) -> Self {
+        for w in nodes.windows(2) {
+            self.edges.push_undirected(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Adds an undirected star centered at `center`.
+    #[must_use]
+    pub fn star(mut self, center: NodeId, leaves: &[NodeId]) -> Self {
+        for &l in leaves {
+            self.edges.push_undirected(center, l);
+        }
+        self
+    }
+
+    /// Finalizes into a CSR, deduplicating edges first.
+    pub fn build(mut self) -> Result<Csr> {
+        self.edges.dedup();
+        self.edges.into_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_has_all_pairs() {
+        let g = GraphBuilder::new(4)
+            .clique(&[0, 1, 2, 3])
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 12);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = GraphBuilder::new(5)
+            .star(0, &[1, 2, 3, 4])
+            .build()
+            .expect("valid");
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build()
+            .expect("valid");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn path_is_connected_chain() {
+        let g = GraphBuilder::new(3)
+            .path(&[0, 1, 2])
+            .build()
+            .expect("valid");
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.bandwidth(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Community detection (Section 6.1, step 1 of node renumbering).
+//!
+//! The paper identifies "the communities that can maximize the overall
+//! modularity of the graph" citing Rabbit Order; we implement the Louvain
+//! method, the canonical modularity-maximizing algorithm of that family,
+//! in a deterministic single-threaded form (node visit order is fixed, so
+//! results are reproducible across runs).
+
+pub mod louvain;
+pub mod modularity;
+
+pub use louvain::{louvain, LouvainConfig, LouvainResult};
+pub use modularity::modularity;

@@ -1,0 +1,90 @@
+//! Newman modularity of a node partition.
+
+use crate::csr::{Csr, NodeId};
+
+/// Computes the Newman modularity `Q` of the partition `community_of` on a
+/// symmetric graph:
+///
+/// `Q = (1/2m) * sum_ij [A_ij - k_i*k_j/(2m)] * delta(c_i, c_j)`
+///
+/// where `2m` is the number of directed edges. Returns 0 for edgeless
+/// graphs. `Q` lies in `[-0.5, 1)`; community-structured graphs typically
+/// score above 0.3.
+pub fn modularity(graph: &Csr, community_of: &[u32]) -> f64 {
+    assert_eq!(
+        graph.num_nodes(),
+        community_of.len(),
+        "partition length mismatch"
+    );
+    let two_m = graph.num_edges() as f64;
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    // Intra-community edge fraction.
+    let intra = graph
+        .edges()
+        .filter(|&(u, v)| community_of[u as usize] == community_of[v as usize])
+        .count() as f64
+        / two_m;
+    // Expected intra fraction under the configuration model: sum over
+    // communities of (total degree / 2m)^2.
+    let max_id = community_of.iter().copied().max().unwrap_or(0) as usize;
+    let mut deg_sum = vec![0f64; max_id + 1];
+    for v in 0..graph.num_nodes() as NodeId {
+        deg_sum[community_of[v as usize] as usize] += graph.degree(v) as f64;
+    }
+    let expected: f64 = deg_sum.iter().map(|&d| (d / two_m).powi(2)).sum();
+    intra - expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two triangles joined by one edge.
+    fn two_triangles() -> Csr {
+        GraphBuilder::new(6)
+            .clique(&[0, 1, 2])
+            .clique(&[3, 4, 5])
+            .undirected_edge(2, 3)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn good_partition_scores_high() {
+        let g = two_triangles();
+        let q_good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let q_bad = modularity(&g, &[0, 1, 0, 1, 0, 1]);
+        let q_single = modularity(&g, &[0, 0, 0, 0, 0, 0]);
+        assert!(q_good > 0.3, "q_good = {q_good}");
+        assert!(q_good > q_bad);
+        assert!(
+            q_single.abs() < 1e-12,
+            "one community has Q = 0, got {q_single}"
+        );
+    }
+
+    #[test]
+    fn singleton_partition_is_negative() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!(
+            q < 0.0,
+            "all-singletons partition on a connected graph, q = {q}"
+        );
+    }
+
+    #[test]
+    fn edgeless_graph_is_zero() {
+        let g = Csr::empty(3);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length mismatch")]
+    fn length_mismatch_panics() {
+        modularity(&two_triangles(), &[0, 0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Coordinate-format edge list: the mutable builder finalized into [`Csr`].
+
+use crate::csr::{Csr, NodeId};
+use crate::{GraphError, Result};
+
+/// A mutable list of directed edges over a fixed node set.
+///
+/// Generators accumulate edges here and call [`EdgeList::into_csr`] once.
+/// Duplicate edges and self-loops are permitted during accumulation;
+/// [`EdgeList::dedup`] and [`EdgeList::remove_self_loops`] clean them up.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// An empty edge list with capacity reserved for `cap` edges.
+    pub fn with_capacity(num_nodes: usize, cap: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of nodes in the underlying node set.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges currently stored.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Appends the directed edge `(src, dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an endpoint is out of range; release-mode
+    /// range errors surface from [`EdgeList::into_csr`].
+    #[inline]
+    pub fn push(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert!((src as usize) < self.num_nodes && (dst as usize) < self.num_nodes);
+        self.edges.push((src, dst));
+    }
+
+    /// Appends both `(u, v)` and `(v, u)`.
+    #[inline]
+    pub fn push_undirected(&mut self, u: NodeId, v: NodeId) {
+        self.push(u, v);
+        self.push(v, u);
+    }
+
+    /// Adds the reverse of every stored edge, then removes duplicates, so
+    /// the resulting graph is symmetric.
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<_> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        self.edges.extend(reversed);
+        self.dedup();
+    }
+
+    /// Sorts edges and removes exact duplicates.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Removes all edges `(v, v)`.
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|&(u, v)| u != v);
+    }
+
+    /// Whether the directed edge `(src, dst)` is present (linear scan; used
+    /// by generators on small candidate sets and by tests).
+    pub fn contains(&self, src: NodeId, dst: NodeId) -> bool {
+        self.edges.contains(&(src, dst))
+    }
+
+    /// Finalizes into a CSR with sorted neighbor lists.
+    pub fn into_csr(mut self) -> Result<Csr> {
+        for &(u, v) in &self.edges {
+            for node in [u, v] {
+                if node as usize >= self.num_nodes {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: node as u64,
+                        num_nodes: self.num_nodes as u64,
+                    });
+                }
+            }
+        }
+        self.edges.sort_unstable();
+        let mut row_ptr = vec![0usize; self.num_nodes + 1];
+        for &(u, _) in &self.edges {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..self.num_nodes {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = self.edges.into_iter().map(|(_, v)| v).collect();
+        Csr::from_raw(self.num_nodes, row_ptr, col_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_finalize() {
+        let mut el = EdgeList::new(4);
+        el.push(2, 0);
+        el.push(0, 3);
+        el.push(0, 1);
+        let g = el.into_csr().expect("valid");
+        assert_eq!(g.neighbors(0), &[1, 3], "neighbor lists are sorted");
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let el = EdgeList {
+            num_nodes: 2,
+            edges: vec![(0, 7)],
+        };
+        assert!(matches!(
+            el.into_csr(),
+            Err(GraphError::NodeOutOfRange { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn symmetrize_dedups() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 0);
+        el.push(1, 2);
+        el.symmetrize();
+        assert_eq!(el.len(), 4);
+        let g = el.into_csr().expect("valid");
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn self_loop_removal() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 0);
+        el.push(0, 1);
+        el.push(1, 1);
+        el.remove_self_loops();
+        assert_eq!(el.len(), 1);
+        assert!(el.contains(0, 1));
+    }
+
+    #[test]
+    fn undirected_push() {
+        let mut el = EdgeList::new(2);
+        el.push_undirected(0, 1);
+        assert_eq!(el.len(), 2);
+        assert!(el.contains(0, 1) && el.contains(1, 0));
+    }
+}

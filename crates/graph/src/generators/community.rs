@@ -1,0 +1,309 @@
+//! Planted-community power-law generator (Type I / Type III datasets).
+//!
+//! Section 4.1.3 of the paper leverages graph community structure — "a small
+//! group of nodes tend to hold strong intra-group connections while
+//! maintaining weak connections with the remaining part of the graph" — to
+//! improve aggregation locality. This generator plants exactly that
+//! structure: community sizes are drawn from a log-normal-ish distribution,
+//! intra-community edges use preferential attachment (power-law degrees),
+//! and a small fraction of edges cross communities.
+//!
+//! Crucially for the renumbering experiments (Figure 12), the generator
+//! *shuffles node ids* before returning, so the community structure is
+//! latent: the renumbering pipeline has to rediscover it, exactly as it
+//! would for a real dataset file.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::{Csr, NodeId};
+use crate::{EdgeList, GraphError, Result};
+
+/// Parameters for [`community_graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityParams {
+    /// Total number of nodes.
+    pub num_nodes: usize,
+    /// Target number of *directed* edges (the generator lands within a few
+    /// percent; exact counts depend on dedup of random collisions).
+    pub num_edges: usize,
+    /// Mean community size.
+    pub mean_community: usize,
+    /// Spread of community sizes as a fraction of the mean (0 = uniform
+    /// sizes). The paper's `artist` dataset corresponds to a large value.
+    pub community_size_cv: f64,
+    /// Fraction of undirected edges that cross community boundaries.
+    pub inter_fraction: f64,
+    /// Whether to shuffle node ids before returning (latent communities).
+    pub shuffle_ids: bool,
+}
+
+impl Default for CommunityParams {
+    fn default() -> Self {
+        Self {
+            num_nodes: 10_000,
+            num_edges: 100_000,
+            mean_community: 64,
+            community_size_cv: 0.3,
+            inter_fraction: 0.1,
+            shuffle_ids: true,
+        }
+    }
+}
+
+/// Generates a symmetric community-structured graph with power-law
+/// intra-community degrees. Also returns the ground-truth community
+/// assignment (in terms of the *returned* node ids), which tests use to
+/// validate Louvain recovery.
+pub fn community_graph(params: &CommunityParams, seed: u64) -> Result<(Csr, Vec<u32>)> {
+    let n = params.num_nodes;
+    if n == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "num_nodes must be > 0".into(),
+        });
+    }
+    if params.mean_community == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "mean_community must be > 0".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&params.inter_fraction) {
+        return Err(GraphError::InvalidParameters {
+            reason: "inter_fraction must lie in [0, 1]".into(),
+        });
+    }
+    let mut rng = super::rng(seed);
+
+    // Partition nodes into communities with sizes around the mean.
+    let mut community_of = vec![0u32; n];
+    let mut bounds: Vec<(usize, usize)> = Vec::new(); // [start, end) per community
+    let mut start = 0usize;
+    let mut cid = 0u32;
+    while start < n {
+        let jitter = 1.0 + params.community_size_cv * (rng.gen::<f64>() * 2.0 - 1.0);
+        let remaining = n - start;
+        let size = if remaining <= 2 {
+            remaining
+        } else {
+            ((params.mean_community as f64 * jitter).round() as usize).clamp(2, remaining)
+        };
+        let end = (start + size).min(n);
+        for c in community_of.iter_mut().take(end).skip(start) {
+            *c = cid;
+        }
+        bounds.push((start, end));
+        start = end;
+        cid += 1;
+    }
+
+    let undirected_target = params.num_edges / 2;
+    let inter_target = (undirected_target as f64 * params.inter_fraction).round() as usize;
+    let intra_target = undirected_target.saturating_sub(inter_target);
+
+    let mut el = EdgeList::with_capacity(n, params.num_edges + 16);
+
+    // Intra-community edges: distribute the budget proportionally to
+    // community size, then run preferential attachment inside each.
+    let total_capacity: usize = bounds.iter().map(|&(s, e)| (e - s) * (e - s - 1) / 2).sum();
+    for &(s, e) in &bounds {
+        let size = e - s;
+        let cap = size * (size - 1) / 2;
+        let mut want = if total_capacity == 0 {
+            0
+        } else {
+            (intra_target as u128 * cap as u128 / total_capacity as u128) as usize
+        };
+        want = want.min(cap);
+        if want == 0 && size >= 2 {
+            want = (size - 1).min(cap); // keep every community connected
+        }
+        preferential_within(&mut el, s as NodeId, e as NodeId, want, &mut rng);
+    }
+
+    // Inter-community edges. Real Type III graphs carry *global* hubs
+    // whose degree far exceeds any single community (amazon0505 peaks in
+    // the thousands) — the heavy tail that makes group-based workload
+    // partitioning matter (Figure 2 / Section 4.1.1). Designate one hub
+    // per ~4 communities (the first node of the community, so hubs spread
+    // across the id space) and route half the inter-community edges
+    // through a hub endpoint; the rest connect uniform pairs.
+    let hubs: Vec<NodeId> = bounds
+        .iter()
+        .step_by(4)
+        .map(|&(s, _)| s as NodeId)
+        .collect();
+    let mut placed = 0usize;
+    let mut guard = 0usize;
+    while placed < inter_target && guard < inter_target * 20 + 64 {
+        guard += 1;
+        let u = if !hubs.is_empty() && rng.gen_bool(0.5) {
+            hubs[rng.gen_range(0..hubs.len())]
+        } else {
+            rng.gen_range(0..n as NodeId)
+        };
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v || community_of[u as usize] == community_of[v as usize] {
+            continue;
+        }
+        el.push_undirected(u, v);
+        placed += 1;
+    }
+
+    el.dedup();
+    let csr = el.into_csr()?;
+
+    if params.shuffle_ids {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(&mut rng);
+        // `order[new] = old`; build new_of_old.
+        let mut new_of_old = vec![0 as NodeId; n];
+        for (new_id, &old) in order.iter().enumerate() {
+            new_of_old[old as usize] = new_id as NodeId;
+        }
+        let perm = crate::Permutation::from_new_of_old(new_of_old)?;
+        let shuffled = csr.permute(&perm)?;
+        let mut shuffled_comm = vec![0u32; n];
+        for old in 0..n {
+            shuffled_comm[perm.new_of(old as NodeId) as usize] = community_of[old];
+        }
+        Ok((shuffled, shuffled_comm))
+    } else {
+        Ok((csr, community_of))
+    }
+}
+
+/// Preferential attachment restricted to the node range `[start, end)`,
+/// adding ~`want` undirected edges.
+fn preferential_within(
+    el: &mut EdgeList,
+    start: NodeId,
+    end: NodeId,
+    want: usize,
+    rng: &mut impl Rng,
+) {
+    let size = (end - start) as usize;
+    if size < 2 || want == 0 {
+        return;
+    }
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * want + 2);
+    // Spanning chain first for connectivity.
+    let chain = (size - 1).min(want);
+    for i in 0..chain as NodeId {
+        el.push_undirected(start + i, start + i + 1);
+        pool.push(start + i);
+        pool.push(start + i + 1);
+    }
+    let mut added = chain;
+    let mut guard = 0usize;
+    while added < want && guard < want * 30 + 64 {
+        guard += 1;
+        let u = start + rng.gen_range(0..size as NodeId);
+        let v = pool[rng.gen_range(0..pool.len())];
+        if u == v {
+            continue;
+        }
+        el.push_undirected(u, v);
+        pool.push(u);
+        pool.push(v);
+        added += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{DegreeStats, PartitionStats};
+
+    fn small_params() -> CommunityParams {
+        CommunityParams {
+            num_nodes: 2_000,
+            num_edges: 20_000,
+            mean_community: 50,
+            community_size_cv: 0.3,
+            inter_fraction: 0.1,
+            shuffle_ids: true,
+        }
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let p = small_params();
+        let (g, _) = community_graph(&p, 1).expect("valid");
+        assert_eq!(g.num_nodes(), p.num_nodes);
+        let ratio = g.num_edges() as f64 / p.num_edges as f64;
+        assert!(
+            (0.7..=1.1).contains(&ratio),
+            "edge count ratio {ratio} out of band"
+        );
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn communities_cover_all_nodes() {
+        let p = small_params();
+        let (_, comm) = community_graph(&p, 2).expect("valid");
+        let s = PartitionStats::of(&comm);
+        assert!(s.count >= p.num_nodes / (2 * p.mean_community));
+        assert!(s.max_size <= 3 * p.mean_community);
+    }
+
+    #[test]
+    fn intra_edges_dominate() {
+        let p = small_params();
+        let (g, comm) = community_graph(&p, 3).expect("valid");
+        let intra = g
+            .edges()
+            .filter(|&(u, v)| comm[u as usize] == comm[v as usize])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(
+            frac > 0.8,
+            "expected strong intra-community connectivity, got {frac}"
+        );
+    }
+
+    #[test]
+    fn shuffling_destroys_id_locality() {
+        let mut p = small_params();
+        p.shuffle_ids = false;
+        let (ordered, _) = community_graph(&p, 4).expect("valid");
+        p.shuffle_ids = true;
+        let (shuffled, _) = community_graph(&p, 4).expect("valid");
+        assert!(
+            shuffled.mean_edge_span() > 3.0 * ordered.mean_edge_span(),
+            "shuffled span {} vs ordered span {}",
+            shuffled.mean_edge_span(),
+            ordered.mean_edge_span()
+        );
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let (g, _) = community_graph(&small_params(), 5).expect("valid");
+        let s = DegreeStats::of(&g);
+        assert!(
+            s.coefficient_of_variation() > 0.3,
+            "cv = {}",
+            s.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = small_params();
+        let (a, ca) = community_graph(&p, 9).expect("valid");
+        let (b, cb) = community_graph(&p, 9).expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut p = small_params();
+        p.num_nodes = 0;
+        assert!(community_graph(&p, 0).is_err());
+        let mut p = small_params();
+        p.inter_fraction = 1.5;
+        assert!(community_graph(&p, 0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Erdős–Rényi G(n, m) generator.
+
+use rand::Rng;
+
+use crate::csr::{Csr, NodeId};
+use crate::{EdgeList, GraphError, Result};
+
+/// Generates a symmetric Erdős–Rényi graph with `n` nodes and approximately
+/// `m` undirected edges (2·m directed edges), no self-loops, deterministic
+/// for a given `seed`.
+///
+/// Sampling is with rejection of duplicates, so the exact undirected edge
+/// count equals `m` whenever `m` does not exceed the number of possible
+/// pairs.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Result<Csr> {
+    let max_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_pairs {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("requested {m} edges but only {max_pairs} pairs exist for n={n}"),
+        });
+    }
+    let mut rng = super::rng(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut el = EdgeList::with_capacity(n, m * 2);
+    // For dense requests fall back to enumerating pairs to avoid unbounded
+    // rejection; the threshold is conservative.
+    if m * 2 > max_pairs {
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_pairs);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                pairs.push((u, v));
+            }
+        }
+        // Partial Fisher-Yates: select m pairs uniformly.
+        for i in 0..m {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            el.push_undirected(u, v);
+        }
+    } else {
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if chosen.insert(key) {
+                el.push_undirected(key.0, key.1);
+            }
+        }
+    }
+    el.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_and_symmetry() {
+        let g = erdos_renyi(100, 250, 7).expect("valid");
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.is_symmetric());
+        assert!(g.edges().all(|(u, v)| u != v), "no self loops");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(50, 100, 3).expect("valid");
+        let b = erdos_renyi(50, 100, 3).expect("valid");
+        let c = erdos_renyi(50, 100, 4).expect("valid");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_request_uses_enumeration() {
+        // 10 nodes -> 45 pairs; ask for 40 (dense path).
+        let g = erdos_renyi(10, 40, 1).expect("valid");
+        assert_eq!(g.num_edges(), 80);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn too_many_edges_rejected() {
+        assert!(erdos_renyi(4, 100, 0).is_err());
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(5, 0, 0).expect("valid");
+        assert_eq!(g.num_edges(), 0);
+    }
+}

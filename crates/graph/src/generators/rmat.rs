@@ -1,0 +1,163 @@
+//! R-MAT (recursive matrix) generator for large irregular graphs.
+//!
+//! The paper's Type III graphs "demonstrate high irregularity in structure"
+//! (Section 8.1.2). R-MAT with skewed quadrant probabilities is the
+//! standard way to synthesize such irregular, scale-free adjacency, and the
+//! harness uses it as an extra stressor alongside the community generator.
+
+use rand::Rng;
+
+use crate::csr::{Csr, NodeId};
+use crate::{EdgeList, GraphError, Result};
+
+/// Quadrant probabilities for the recursive partition. Must sum to ~1.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the number of nodes.
+    pub scale: u32,
+    /// Directed edges to sample (before dedup/self-loop removal).
+    pub num_edges: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // Graph500 parameters.
+        Self {
+            scale: 14,
+            num_edges: 16 * (1 << 14),
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+/// Generates an R-MAT graph, symmetrized, with self-loops and duplicates
+/// removed. The final edge count is therefore somewhat below
+/// `2 * num_edges`.
+pub fn rmat(params: &RmatParams, seed: u64) -> Result<Csr> {
+    let d = 1.0 - params.a - params.b - params.c;
+    if !(0.0..=1.0).contains(&d) || params.a < 0.0 || params.b < 0.0 || params.c < 0.0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "quadrant probabilities must be non-negative and sum to <= 1".into(),
+        });
+    }
+    if params.scale == 0 || params.scale > 31 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("scale {} out of supported range 1..=31", params.scale),
+        });
+    }
+    let n = 1usize << params.scale;
+    let mut rng = super::rng(seed);
+    let mut el = EdgeList::with_capacity(n, params.num_edges * 2);
+    for _ in 0..params.num_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..params.scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            el.push_undirected(u as NodeId, v as NodeId);
+        }
+    }
+    el.dedup();
+    el.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn basic_shape() {
+        let p = RmatParams {
+            scale: 10,
+            num_edges: 8192,
+            ..Default::default()
+        };
+        let g = rmat(&p, 1).expect("valid");
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 8000, "most sampled edges survive dedup");
+        assert!(g.is_symmetric());
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn skewed_parameters_give_skewed_degrees() {
+        let p = RmatParams {
+            scale: 12,
+            num_edges: 32_768,
+            ..Default::default()
+        };
+        let g = rmat(&p, 2).expect("valid");
+        let s = DegreeStats::of(&g);
+        assert!(
+            s.coefficient_of_variation() > 1.0,
+            "cv = {}",
+            s.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_are_flat() {
+        let p = RmatParams {
+            scale: 12,
+            num_edges: 32_768,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let g = rmat(&p, 3).expect("valid");
+        let s = DegreeStats::of(&g);
+        assert!(
+            s.coefficient_of_variation() < 0.5,
+            "cv = {}",
+            s.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        let p = RmatParams {
+            scale: 4,
+            num_edges: 16,
+            a: 0.8,
+            b: 0.3,
+            c: 0.2,
+        };
+        assert!(rmat(&p, 0).is_err());
+        let p = RmatParams {
+            scale: 0,
+            num_edges: 16,
+            ..Default::default()
+        };
+        assert!(rmat(&p, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams {
+            scale: 8,
+            num_edges: 1024,
+            ..Default::default()
+        };
+        assert_eq!(rmat(&p, 5).unwrap(), rmat(&p, 5).unwrap());
+    }
+}

@@ -1,0 +1,137 @@
+//! Reverse Cuthill–McKee traversal (Section 6.1, step 2).
+//!
+//! Within each detected community, the paper traverses nodes with RCM "to
+//! maximize the neighbor sharing among nodes with consecutive IDs". RCM is
+//! a breadth-first traversal from a low-degree peripheral node with
+//! neighbors visited in ascending-degree order, reversed at the end; it is
+//! the classic bandwidth-reduction ordering for sparse matrices.
+
+use crate::csr::{Csr, NodeId};
+
+/// Computes the RCM ordering of a node subset.
+///
+/// `subset` lists the nodes to order (typically one community); edges to
+/// nodes outside the subset are ignored. The returned vector is a
+/// permutation of `subset`: position `i` holds the node that should receive
+/// the `i`-th id. Disconnected parts of the subset are ordered one
+/// component at a time, each started from its minimum-degree node.
+pub fn rcm_order(graph: &Csr, subset: &[NodeId]) -> Vec<NodeId> {
+    if subset.is_empty() {
+        return Vec::new();
+    }
+    // Membership and local degree (within-subset) computation.
+    let in_subset: std::collections::HashSet<NodeId> = subset.iter().copied().collect();
+    let local_degree = |v: NodeId| -> usize {
+        graph
+            .neighbors(v)
+            .iter()
+            .filter(|u| in_subset.contains(u))
+            .count()
+    };
+
+    let mut visited: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut order: Vec<NodeId> = Vec::with_capacity(subset.len());
+
+    // Candidate start nodes sorted by (degree, id) for determinism.
+    let mut starts: Vec<NodeId> = subset.to_vec();
+    starts.sort_unstable_by_key(|&v| (local_degree(v), v));
+
+    let mut queue = std::collections::VecDeque::new();
+    for &start in &starts {
+        if visited.contains(&start) {
+            continue;
+        }
+        visited.insert(start);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut next: Vec<NodeId> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|u| in_subset.contains(u) && !visited.contains(u))
+                .collect();
+            next.sort_unstable_by_key(|&u| (local_degree(u), u));
+            for u in next {
+                visited.insert(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Permutation};
+
+    #[test]
+    fn orders_every_subset_node_exactly_once() {
+        let g = GraphBuilder::new(6)
+            .path(&[0, 3, 1, 4, 2, 5])
+            .build()
+            .expect("valid");
+        let subset: Vec<NodeId> = (0..6).collect();
+        let mut order = rcm_order(&g, &subset);
+        assert_eq!(order.len(), 6);
+        order.sort_unstable();
+        assert_eq!(order, subset);
+    }
+
+    #[test]
+    fn reduces_bandwidth_of_scrambled_path() {
+        // A path visited in scrambled id order has high bandwidth; RCM
+        // restores bandwidth 1.
+        let g = GraphBuilder::new(8)
+            .path(&[0, 5, 2, 7, 1, 6, 3, 4])
+            .build()
+            .expect("valid");
+        assert!(g.bandwidth() > 1);
+        let order = rcm_order(&g, &(0..8).collect::<Vec<_>>());
+        let perm = Permutation::from_order(order).expect("valid");
+        let reordered = g.permute(&perm).expect("valid");
+        assert_eq!(reordered.bandwidth(), 1, "RCM must linearize a path");
+    }
+
+    #[test]
+    fn respects_subset_boundary() {
+        let g = GraphBuilder::new(6)
+            .clique(&[0, 1, 2])
+            .clique(&[3, 4, 5])
+            .undirected_edge(2, 3)
+            .build()
+            .expect("valid");
+        let order = rcm_order(&g, &[3, 4, 5]);
+        assert_eq!(order.len(), 3);
+        assert!(order.iter().all(|&v| (3..6).contains(&v)));
+    }
+
+    #[test]
+    fn handles_disconnected_subset() {
+        let g = GraphBuilder::new(4)
+            .undirected_edge(0, 1)
+            .build()
+            .expect("valid");
+        let mut order = rcm_order(&g, &[0, 1, 2, 3]);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = GraphBuilder::new(2).build().expect("valid");
+        assert!(rcm_order(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = GraphBuilder::new(5)
+            .clique(&[0, 1, 2, 3, 4])
+            .build()
+            .expect("valid");
+        let s: Vec<NodeId> = (0..5).collect();
+        assert_eq!(rcm_order(&g, &s), rcm_order(&g, &s));
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic weight and feature initialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+/// Deterministic for a given seed.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// Random node features in `[0, 1)`, the stand-in for dataset feature files.
+pub fn random_features(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier_uniform(64, 32, 1);
+        let bound = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+        // Not degenerate: values differ.
+        assert!(m.as_slice().iter().any(|&v| v != m.get(0, 0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(xavier_uniform(8, 8, 7), xavier_uniform(8, 8, 7));
+        assert_ne!(xavier_uniform(8, 8, 7), xavier_uniform(8, 8, 8));
+        assert_eq!(random_features(4, 4, 3), random_features(4, 4, 3));
+    }
+
+    #[test]
+    fn features_in_unit_interval() {
+        let m = random_features(16, 16, 2);
+        assert!(m.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense linear-algebra substrate for the GNN **update** phase.
+//!
+//! GNN layers interleave sparse aggregation (handled by the GPU-simulated
+//! kernels in `gnnadvisor-core`) with dense NN operations — the paper calls
+//! these DGEMM / MLP updates and notes they are "well-suited for GPU-based
+//! acceleration" via cuBLAS. This crate supplies the numerical side:
+//! a row-major [`Matrix`], a blocked [`gemm`], element-wise [`ops`],
+//! [`linear::Linear`] layers and [`mlp::Mlp`] stacks with deterministic
+//! Xavier initialization.
+//!
+//! The *timing* of the update phase on the simulated GPU is modeled by
+//! `gnnadvisor-gpu`'s GEMM cost model; this crate computes the actual
+//! numbers so that end-to-end model outputs are real and testable.
+
+pub mod gemm;
+pub mod init;
+pub mod linear;
+pub mod matrix;
+pub mod mlp;
+pub mod ops;
+
+pub use gemm::{gemm, gemm_into};
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+
+/// Errors produced by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description including the offending shapes.
+        context: String,
+    },
+}
+
+impl core::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Crate-local result alias.
+pub type Result<T> = core::result::Result<T, TensorError>;

@@ -1,0 +1,91 @@
+//! Community-aware node renumbering in action (Section 6.1, Figure 12).
+//!
+//! Generates a community graph with *shuffled* node ids, runs Louvain +
+//! per-community RCM, and shows how the permutation changes edge locality,
+//! cache hit rate, and DRAM traffic during aggregation.
+//!
+//! ```sh
+//! cargo run --release --example community_locality
+//! ```
+
+use gnnadvisor_repro::core::input::AggOrder;
+use gnnadvisor_repro::core::runtime::{Advisor, AdvisorConfig};
+use gnnadvisor_repro::gpu::GpuSpec;
+use gnnadvisor_repro::graph::community::{louvain, LouvainConfig};
+use gnnadvisor_repro::graph::generators::{community_graph, CommunityParams};
+use gnnadvisor_repro::graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_repro::graph::stats::locality_score;
+
+fn main() {
+    let params = CommunityParams {
+        num_nodes: 20_000,
+        num_edges: 400_000,
+        mean_community: 100,
+        community_size_cv: 0.3,
+        inter_fraction: 0.08,
+        shuffle_ids: true,
+    };
+    let (graph, truth) = community_graph(&params, 7).expect("generator parameters are valid");
+    let truth_communities = truth.iter().collect::<std::collections::HashSet<_>>().len();
+    println!(
+        "latent-community graph: {} nodes, {} edges, {} planted communities",
+        graph.num_nodes(),
+        graph.num_edges(),
+        truth_communities
+    );
+
+    // Step 1 of the pipeline: Louvain community detection.
+    let detected = louvain(&graph, &LouvainConfig::default());
+    println!(
+        "louvain: {} communities found, modularity {:.3}",
+        detected.num_communities, detected.modularity
+    );
+
+    // Steps 2-3: per-community RCM and the id remapping.
+    let result = renumber(&graph, &RenumberConfig::default()).expect("renumbering runs");
+    let reordered = graph
+        .permute(&result.permutation)
+        .expect("permutation is valid");
+    println!("edge locality (fraction of edges within a 256-id window):");
+    println!(
+        "  before renumbering: {:.1}%",
+        locality_score(&graph, 256) * 100.0
+    );
+    println!(
+        "  after renumbering:  {:.1}%",
+        locality_score(&reordered, 256) * 100.0
+    );
+    println!(
+        "mean edge span: {:.0} -> {:.0}",
+        graph.mean_edge_span(),
+        reordered.mean_edge_span()
+    );
+
+    // Effect on the simulated aggregation kernel (Figure 12b). The pass
+    // runs at the full 96-dim embedding (GIN-style), whose 7.7 MB feature
+    // matrix exceeds the P6000's 3 MB L2 — the regime where renumbering
+    // pays off.
+    let spec = GpuSpec::quadro_p6000();
+    for (label, renum) in [("w/o renumbering", false), ("w/  renumbering", true)] {
+        let advisor = Advisor::new(
+            &graph,
+            96,
+            16,
+            10,
+            AggOrder::AggregateThenUpdate,
+            AdvisorConfig {
+                renumber: Some(renum),
+                spec: spec.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("runtime builds");
+        let metrics = advisor.aggregate(96).expect("aggregation runs");
+        println!(
+            "{label}: {:.4} ms, cache hit rate {:.1}%, DRAM {:.2} MB",
+            metrics.time_ms,
+            metrics.cache_hit_rate() * 100.0,
+            metrics.dram_bytes() as f64 / 1e6
+        );
+    }
+}

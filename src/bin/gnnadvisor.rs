@@ -1,0 +1,12 @@
+//! The `gnnadvisor` command-line tool — see `gnnadvisor help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gnnadvisor_repro::cli::dispatch(&args) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Command-line interface logic (see `src/bin/gnnadvisor.rs`).
+//!
+//! The paper's conclusion promises "a handy tool to accelerate GNNs on
+//! GPUs systematically and comprehensively"; this module is that tool's
+//! engine. Every command returns its report as a `String` so the logic is
+//! unit-testable; the binary just prints it.
+
+use gnnadvisor_core::frameworks::{aggregate_with, Framework};
+use gnnadvisor_core::input::extract;
+use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
+use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
+use gnnadvisor_core::tuning::model;
+use gnnadvisor_datasets::{table1_by_name, Dataset};
+use gnnadvisor_gpu::{Engine, GpuSpec};
+use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
+use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_graph::stats::DegreeStats;
+use gnnadvisor_models::{Gat, Gcn, Gin, GraphSage, ModelExec};
+use gnnadvisor_tensor::init::random_features;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Table 1 dataset name (mutually exclusive with `edge_list`).
+    pub dataset: Option<String>,
+    /// Edge-list file path.
+    pub edge_list: Option<String>,
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Model name: gcn | gin | sage | gat.
+    pub model: String,
+    /// Device: p6000 | v100.
+    pub gpu: String,
+    /// Feature dimensionality when loading raw edge lists.
+    pub feat_dim: usize,
+    /// Class count when loading raw edge lists.
+    pub num_classes: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            dataset: None,
+            edge_list: None,
+            scale: 0.05,
+            model: "gcn".into(),
+            gpu: "p6000".into(),
+            feat_dim: 96,
+            num_classes: 10,
+        }
+    }
+}
+
+/// CLI errors as plain strings (shown to the user verbatim).
+pub type CliResult = Result<String, String>;
+
+impl CliOptions {
+    /// Parses `--key value` pairs after the subcommand.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let mut need = || {
+                it.next().cloned().ok_or_else(|| format!("{key} needs a value"))
+            };
+            match key.as_str() {
+                "--dataset" => opts.dataset = Some(need()?),
+                "--edge-list" => opts.edge_list = Some(need()?),
+                "--scale" => {
+                    opts.scale = need()?
+                        .parse()
+                        .map_err(|_| "--scale needs a number in (0, 1]".to_string())?
+                }
+                "--model" => opts.model = need()?.to_lowercase(),
+                "--gpu" => opts.gpu = need()?.to_lowercase(),
+                "--feat-dim" => {
+                    opts.feat_dim =
+                        need()?.parse().map_err(|_| "--feat-dim needs an integer".to_string())?
+                }
+                "--classes" => {
+                    opts.num_classes =
+                        need()?.parse().map_err(|_| "--classes needs an integer".to_string())?
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn spec(&self) -> Result<GpuSpec, String> {
+        match self.gpu.as_str() {
+            "p6000" => Ok(GpuSpec::quadro_p6000()),
+            "v100" => Ok(GpuSpec::tesla_v100()),
+            other => Err(format!("unknown GPU {other}; use p6000 or v100")),
+        }
+    }
+
+    fn load(&self) -> Result<Dataset, String> {
+        if let Some(path) = &self.edge_list {
+            let graph =
+                load_edge_list(path, &LoadOptions::default()).map_err(|e| e.to_string())?;
+            let spec = gnnadvisor_datasets::DatasetSpec {
+                name: "edge-list",
+                num_nodes: graph.num_nodes(),
+                num_edges: graph.num_edges(),
+                feat_dim: self.feat_dim,
+                num_classes: self.num_classes,
+                ty: gnnadvisor_datasets::DatasetType::TypeIII,
+                mean_cluster: 64,
+                cluster_cv: 0.3,
+            };
+            return Ok(Dataset {
+                spec,
+                scale: 1.0,
+                graph,
+                feat_dim: self.feat_dim,
+                num_classes: self.num_classes,
+            });
+        }
+        let name = self.dataset.as_deref().ok_or("pass --dataset NAME or --edge-list FILE")?;
+        let spec = table1_by_name(name)
+            .ok_or_else(|| format!("unknown dataset {name}; see Table 1 for names"))?;
+        spec.generate(self.scale).map_err(|e| e.to_string())
+    }
+}
+
+/// `analyze`: the input extractor's report plus suggested parameters.
+pub fn analyze(opts: &CliOptions) -> CliResult {
+    let ds = opts.load()?;
+    let spec = opts.spec()?;
+    let stats = DegreeStats::of(&ds.graph);
+    let info = extract(&ds.graph, ds.feat_dim, 16, ds.num_classes, model_order(&opts.model)?);
+    let decided = model::decide(&info, &spec);
+    let r = renumber(&ds.graph, &RenumberConfig::default()).map_err(|e| e.to_string())?;
+
+    // Workload balance: per-thread work before (one thread per node) and
+    // after group-based partitioning with the suggested group size.
+    let groups = gnnadvisor_core::workload::group::partition_groups(&ds.graph, decided.group_size)
+        .map_err(|e| e.to_string())?;
+    let grouped_max = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+    let grouped_mean = if groups.is_empty() {
+        0.0
+    } else {
+        ds.graph.num_edges() as f64 / groups.len() as f64
+    };
+    let node_imbalance = stats.max as f64 / stats.mean.max(1e-9);
+    let group_imbalance = grouped_max as f64 / grouped_mean.max(1e-9);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "input analysis: {} (scale {})\n\
+         nodes {}, directed edges {}, feature dim {}, classes {}\n\
+         degree: mean {:.1}, stddev {:.1}, max {} (alpha = {:.3})\n\
+         communities: {} found, modularity {:.3}\n\
+         mean edge span: {:.0} (renumbered: {:.0})\n\
+         workload balance (max/mean per thread): node-centric {:.1}x -> grouped {:.1}x\n\
+         suggested params: gs={}, tpb={}, dw={}, shared={}, renumber={}\n",
+        ds.spec.name,
+        ds.scale,
+        info.num_nodes,
+        info.num_edges,
+        info.feat_dim,
+        info.num_classes,
+        stats.mean,
+        stats.stddev,
+        stats.max,
+        info.alpha(),
+        r.num_communities,
+        r.modularity,
+        ds.graph.mean_edge_span(),
+        ds.graph
+            .permute(&r.permutation)
+            .map(|g| g.mean_edge_span())
+            .unwrap_or(f64::NAN),
+        node_imbalance,
+        group_imbalance,
+        decided.group_size,
+        decided.threads_per_block,
+        decided.dim_workers,
+        decided.use_shared,
+        decided.renumber,
+    ));
+    Ok(out)
+}
+
+/// `run`: one model forward pass under GNNAdvisor, with metrics.
+pub fn run(opts: &CliOptions) -> CliResult {
+    let ds = opts.load()?;
+    let spec = opts.spec()?;
+    let advisor = Advisor::new(
+        &ds.graph,
+        ds.feat_dim,
+        16,
+        ds.num_classes,
+        model_order(&opts.model)?,
+        AdvisorConfig { spec: spec.clone(), ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let engine = Engine::new(spec);
+    let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 7);
+    let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&advisor));
+    let result = forward(&opts.model, &exec, &ds, &features)?;
+
+    let mut limiter_counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for k in &result.metrics.kernels {
+        *limiter_counts.entry(k.limiter.label()).or_insert(0) += 1;
+    }
+    let limiters = limiter_counts
+        .iter()
+        .map(|(l, c)| format!("{c} {l}-bound"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    Ok(format!(
+        "{} on {} ({}): {:.4} simulated ms\n\
+         kernels: {} ({limiters}), DRAM {:.2} MB, cache hit rate {:.1}%, SM efficiency {:.1}%\n\
+         params: {:?}\n",
+        opts.model.to_uppercase(),
+        ds.spec.name,
+        engine.spec().name,
+        result.metrics.total_ms(),
+        result.metrics.kernels.len(),
+        result.metrics.dram_bytes() as f64 / 1e6,
+        result.metrics.cache_hit_rate() * 100.0,
+        result.metrics.mean_sm_efficiency() * 100.0,
+        advisor.params(),
+    ))
+}
+
+/// `compare`: every execution strategy on one aggregation pass.
+pub fn compare(opts: &CliOptions) -> CliResult {
+    let ds = opts.load()?;
+    let spec = opts.spec()?;
+    let advisor = Advisor::new(
+        &ds.graph,
+        ds.feat_dim,
+        16,
+        ds.num_classes,
+        model_order(&opts.model)?,
+        AdvisorConfig { spec: spec.clone(), ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let engine = Engine::new(spec);
+    let dim = 16;
+    let mut out = format!(
+        "one aggregation pass at dim {dim} on {} ({} nodes, {} edges):\n",
+        ds.spec.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let mut base = 0.0;
+    for fw in [
+        Framework::GnnAdvisor,
+        Framework::Dgl,
+        Framework::Pyg,
+        Framework::Gunrock,
+        Framework::NodeCentric,
+        Framework::EdgeCentric,
+    ] {
+        let adv = (fw == Framework::GnnAdvisor).then_some(&advisor);
+        let m = aggregate_with(fw, &engine, &ds.graph, dim, adv).map_err(|e| e.to_string())?;
+        if fw == Framework::GnnAdvisor {
+            base = m.total_ms();
+        }
+        out.push_str(&format!(
+            "  {:<14} {:>10.4} ms  ({:>5.2}x)\n",
+            fw.name(),
+            m.total_ms(),
+            m.total_ms() / base.max(1e-12)
+        ));
+    }
+    Ok(out)
+}
+
+/// `tune`: the Section 7 Modeling & Estimating pipeline.
+pub fn tune(opts: &CliOptions) -> CliResult {
+    let ds = opts.load()?;
+    let spec = opts.spec()?;
+    let info = extract(&ds.graph, ds.feat_dim, 16, ds.num_classes, model_order(&opts.model)?);
+    let decided = model::decide(&info, &spec);
+    let evolved = Estimator::new(info.clone(), spec.clone(), EstimatorConfig::default()).tune();
+    Ok(format!(
+        "tuning for {} on {}:\n\
+         modeling (Eq. 2-4 grid): gs={}, tpb={}, dw={} (score {:.3e})\n\
+         estimating (evolutionary): gs={}, tpb={}, dw={} (score {:.3e})\n",
+        ds.spec.name,
+        spec.name,
+        decided.group_size,
+        decided.threads_per_block,
+        decided.dim_workers,
+        model::estimated_latency(&decided, &info, &spec),
+        evolved.group_size,
+        evolved.threads_per_block,
+        evolved.dim_workers,
+        model::estimated_latency(&evolved, &info, &spec),
+    ))
+}
+
+fn model_order(model: &str) -> Result<gnnadvisor_core::input::AggOrder, String> {
+    match model {
+        "gcn" | "sage" => Ok(gnnadvisor_core::input::AggOrder::UpdateThenAggregate),
+        "gin" | "gat" => Ok(gnnadvisor_core::input::AggOrder::AggregateThenUpdate),
+        other => Err(format!("unknown model {other}; use gcn | gin | sage | gat")),
+    }
+}
+
+fn forward(
+    model: &str,
+    exec: &ModelExec<'_>,
+    ds: &Dataset,
+    features: &gnnadvisor_tensor::Matrix,
+) -> Result<gnnadvisor_models::ForwardResult, String> {
+    let r = match model {
+        "gcn" => Gcn::paper_default(ds.feat_dim, ds.num_classes, 0).forward(exec, features),
+        "gin" => Gin::paper_default(ds.feat_dim, ds.num_classes, 0).forward(exec, features),
+        "sage" => GraphSage::paper_default(ds.feat_dim, ds.num_classes, 0).forward(exec, features),
+        "gat" => Gat::paper_default(ds.feat_dim, ds.num_classes, 0).forward(exec, features),
+        other => return Err(format!("unknown model {other}; use gcn | gin | sage | gat")),
+    };
+    r.map_err(|e| e.to_string())
+}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+gnnadvisor — GNNAdvisor runtime reproduction CLI
+
+USAGE:
+    gnnadvisor <COMMAND> [OPTIONS]
+
+COMMANDS:
+    analyze    input-extractor report + suggested runtime parameters
+    run        one model forward pass under GNNAdvisor, with metrics
+    compare    all execution strategies on one aggregation pass
+    tune       the Section 7 Modeling & Estimating pipeline
+
+OPTIONS:
+    --dataset NAME       a Table 1 dataset (e.g. Cora, artist, DD)
+    --edge-list FILE     load a SNAP-style edge list instead
+    --scale S            dataset scale in (0, 1], default 0.05
+    --model M            gcn | gin | sage | gat, default gcn
+    --gpu G              p6000 | v100, default p6000
+    --feat-dim D         feature dim for --edge-list inputs (default 96)
+    --classes C          class count for --edge-list inputs (default 10)
+";
+
+/// Dispatches a full argument vector (without the program name).
+pub fn dispatch(args: &[String]) -> CliResult {
+    let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    let opts = CliOptions::parse(rest)?;
+    match cmd.as_str() {
+        "analyze" => analyze(&opts),
+        "run" => run(&opts),
+        "compare" => compare(&opts),
+        "tune" => tune(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_options() {
+        let o = CliOptions::parse(&args("--dataset Cora --scale 0.02 --model gin --gpu v100"))
+            .expect("parses");
+        assert_eq!(o.dataset.as_deref(), Some("Cora"));
+        assert_eq!(o.scale, 0.02);
+        assert_eq!(o.model, "gin");
+        assert_eq!(o.gpu, "v100");
+        assert!(CliOptions::parse(&args("--bogus 1")).is_err());
+        assert!(CliOptions::parse(&args("--scale")).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_params() {
+        let out = dispatch(&args("analyze --dataset Cora --scale 0.05")).expect("runs");
+        assert!(out.contains("suggested params"));
+        assert!(out.contains("communities"));
+    }
+
+    #[test]
+    fn run_every_model() {
+        for m in ["gcn", "gin", "sage", "gat"] {
+            let out = dispatch(&args(&format!("run --dataset Cora --scale 0.03 --model {m}")))
+                .unwrap_or_else(|e| panic!("{m}: {e}"));
+            assert!(out.contains("simulated ms"), "{m}");
+        }
+    }
+
+    #[test]
+    fn compare_lists_all_frameworks() {
+        let out = dispatch(&args("compare --dataset artist --scale 0.01")).expect("runs");
+        for fw in ["GNNAdvisor", "DGL", "PyG", "GunRock", "node-centric", "edge-centric"] {
+            assert!(out.contains(fw), "missing {fw} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn tune_outputs_both_stages() {
+        let out = dispatch(&args("tune --dataset Pubmed --scale 0.03")).expect("runs");
+        assert!(out.contains("modeling"));
+        assert!(out.contains("estimating"));
+    }
+
+    #[test]
+    fn errors_are_friendly() {
+        assert!(dispatch(&args("run --dataset nope")).unwrap_err().contains("unknown dataset"));
+        assert!(dispatch(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(dispatch(&args("run")).unwrap_err().contains("--dataset"));
+        assert!(dispatch(&args("run --dataset Cora --gpu tpu")).unwrap_err().contains("unknown GPU"));
+    }
+
+    #[test]
+    fn edge_list_input_works() {
+        let dir = std::env::temp_dir().join("gnnadvisor_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tiny.el");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n2 3\n3 4\n4 2\n").expect("write");
+        let out = dispatch(&args(&format!(
+            "run --edge-list {} --feat-dim 8 --classes 2",
+            path.display()
+        )))
+        .expect("runs");
+        assert!(out.contains("simulated ms"));
+        std::fs::remove_file(path).ok();
+    }
+}

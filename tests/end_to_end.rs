@@ -1,0 +1,218 @@
+//! End-to-end integration: full GNN forward passes across dataset types,
+//! frameworks, and devices.
+
+use gnnadvisor_repro::core::frameworks::{aggregate_with, Framework};
+use gnnadvisor_repro::core::input::AggOrder;
+use gnnadvisor_repro::core::runtime::{Advisor, AdvisorConfig};
+use gnnadvisor_repro::datasets::{table1_by_name, DatasetType};
+use gnnadvisor_repro::gpu::{Engine, GpuSpec};
+use gnnadvisor_repro::models::{Gcn, Gin, GraphSage, ModelExec};
+use gnnadvisor_repro::tensor::init::random_features;
+
+/// A small-cache spec proportional to the test scale, mirroring the bench
+/// harness methodology.
+fn spec() -> GpuSpec {
+    let mut s = GpuSpec::quadro_p6000();
+    s.l2_bytes = 96 * 1024;
+    s
+}
+
+fn advisor_for(
+    ds: &gnnadvisor_repro::datasets::Dataset,
+    order: AggOrder,
+    hidden: usize,
+) -> Advisor {
+    Advisor::new(
+        &ds.graph,
+        ds.feat_dim,
+        hidden,
+        ds.num_classes,
+        order,
+        AdvisorConfig {
+            spec: spec(),
+            ..Default::default()
+        },
+    )
+    .expect("advisor builds")
+}
+
+#[test]
+fn gcn_runs_on_every_dataset_type() {
+    for name in ["Cora", "PROTEINS_full", "artist"] {
+        let ds = table1_by_name(name)
+            .expect("present")
+            .generate(0.02)
+            .expect("generates");
+        let advisor = advisor_for(&ds, AggOrder::UpdateThenAggregate, 16);
+        let engine = Engine::new(spec());
+        let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 1);
+        let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&advisor));
+        let model = Gcn::paper_default(ds.feat_dim, ds.num_classes, 0);
+        let r = model.forward(&exec, &features).expect("forward runs");
+        assert_eq!(
+            r.output.shape(),
+            (ds.graph.num_nodes(), ds.num_classes),
+            "{name}"
+        );
+        assert!(r.metrics.total_ms() > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn gin_and_sage_run_end_to_end() {
+    let ds = table1_by_name("PPI")
+        .expect("present")
+        .generate(0.02)
+        .expect("generates");
+    let engine = Engine::new(spec());
+    let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 2);
+
+    let gin_adv = advisor_for(&ds, AggOrder::AggregateThenUpdate, 64);
+    let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&gin_adv));
+    let gin = Gin::paper_default(ds.feat_dim, ds.num_classes, 0);
+    let r = gin.forward(&exec, &features).expect("GIN runs");
+    assert_eq!(r.output.cols(), ds.num_classes);
+
+    let sage_adv = advisor_for(&ds, AggOrder::UpdateThenAggregate, 16);
+    let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&sage_adv));
+    let sage = GraphSage::paper_default(ds.feat_dim, ds.num_classes, 0);
+    let r = sage.forward(&exec, &features).expect("GraphSage runs");
+    assert_eq!(r.output.cols(), ds.num_classes);
+}
+
+#[test]
+fn model_outputs_are_framework_invariant() {
+    // The execution strategy changes cost, never numerics.
+    let ds = table1_by_name("Cora")
+        .expect("present")
+        .generate(0.05)
+        .expect("generates");
+    let engine = Engine::new(spec());
+    let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 3);
+    let model = Gcn::paper_default(ds.feat_dim, ds.num_classes, 9);
+    let advisor = advisor_for(&ds, AggOrder::UpdateThenAggregate, 16);
+
+    let mut outputs = Vec::new();
+    for (fw, adv) in [
+        (Framework::GnnAdvisor, Some(&advisor)),
+        (Framework::Dgl, None),
+        (Framework::Pyg, None),
+        (Framework::EdgeCentric, None),
+    ] {
+        let exec = ModelExec::new(&engine, &ds.graph, fw, adv);
+        outputs.push(model.forward(&exec, &features).expect("runs").output);
+    }
+    for pair in outputs.windows(2) {
+        assert!(pair[0].max_abs_diff(&pair[1]) < 1e-5);
+    }
+}
+
+#[test]
+fn advisor_beats_all_baselines_on_type3_aggregation() {
+    let ds = table1_by_name("soc-BlogCatalog")
+        .expect("present")
+        .generate(0.03)
+        .expect("generates");
+    let advisor = advisor_for(&ds, AggOrder::UpdateThenAggregate, 16);
+    let engine = Engine::new(spec());
+    let ours = aggregate_with(
+        Framework::GnnAdvisor,
+        &engine,
+        &ds.graph,
+        16,
+        Some(&advisor),
+    )
+    .expect("runs")
+    .total_ms();
+    for fw in [
+        Framework::Dgl,
+        Framework::Pyg,
+        Framework::Gunrock,
+        Framework::NodeCentric,
+        Framework::EdgeCentric,
+    ] {
+        let theirs = aggregate_with(fw, &engine, &ds.graph, 16, None)
+            .expect("runs")
+            .total_ms();
+        assert!(
+            ours < theirs,
+            "advisor {ours:.4} ms must beat {} at {theirs:.4} ms",
+            fw.name()
+        );
+    }
+}
+
+#[test]
+fn end_to_end_is_deterministic() {
+    let ds = table1_by_name("Citeseer")
+        .expect("present")
+        .generate(0.05)
+        .expect("generates");
+    let engine = Engine::new(spec());
+    let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 4);
+    let run = || {
+        let advisor = advisor_for(&ds, AggOrder::UpdateThenAggregate, 16);
+        let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&advisor));
+        Gcn::paper_default(ds.feat_dim, ds.num_classes, 5)
+            .forward(&exec, &features)
+            .expect("runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn v100_outruns_p6000_end_to_end() {
+    let ds = table1_by_name("artist")
+        .expect("present")
+        .generate(0.02)
+        .expect("generates");
+    let mut times = Vec::new();
+    for dev in [GpuSpec::quadro_p6000(), GpuSpec::tesla_v100()] {
+        let advisor = Advisor::new(
+            &ds.graph,
+            ds.feat_dim,
+            16,
+            ds.num_classes,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig {
+                spec: dev.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("builds");
+        let engine = Engine::new(dev);
+        let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 6);
+        let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&advisor));
+        let r = Gcn::paper_default(ds.feat_dim, ds.num_classes, 0)
+            .forward(&exec, &features)
+            .expect("runs");
+        times.push(r.metrics.total_ms());
+    }
+    assert!(
+        times[1] < times[0],
+        "V100 {} ms vs P6000 {} ms",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn dataset_types_have_expected_structure() {
+    // Type II: block-diagonal, tiny edge spans. Type III: latent community
+    // structure that renumbering can exploit.
+    let t2 = table1_by_name("OVCAR-8H").expect("present");
+    assert_eq!(t2.ty, DatasetType::TypeII);
+    let d2 = t2.generate(0.005).expect("generates");
+    assert!(d2.graph.mean_edge_span() < 100.0);
+
+    let t3 = table1_by_name("com-amazon").expect("present");
+    assert_eq!(t3.ty, DatasetType::TypeIII);
+    let d3 = t3.generate(0.01).expect("generates");
+    assert!(
+        d3.graph.mean_edge_span() > 100.0,
+        "latent structure: ids are shuffled"
+    );
+}
