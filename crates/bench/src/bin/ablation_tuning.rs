@@ -66,6 +66,8 @@ fn main() {
         let estimated =
             Estimator::new(input.clone(), cfg.spec.clone(), EstimatorConfig::default()).tune();
         // Profile-guided: fitness is the actual simulated forward pass.
+        // Every candidate advisor is handed a clone of the estimator's
+        // shared engine, so the whole search reuses one RunContext.
         let profiled = Estimator::new(
             input.clone(),
             cfg.spec.clone(),
@@ -75,7 +77,7 @@ fn main() {
                 ..Default::default()
             },
         )
-        .tune_with(|p| {
+        .tune_profiled(|p, engine| {
             Advisor::new(
                 &ds.graph,
                 ds.feat_dim,
@@ -88,6 +90,7 @@ fn main() {
                         renumber: false,
                         ..*p
                     }),
+                    engine: Some(engine.clone()),
                     ..Default::default()
                 },
             )

@@ -37,11 +37,17 @@ fn main() {
 
         let start = Instant::now();
         let r = renumber(&ds.graph, &RenumberConfig::default()).expect("renumber runs");
-        let _permuted = ds.graph.permute(&r.permutation).expect("permutation is valid");
+        let _permuted = ds
+            .graph
+            .permute(&r.permutation)
+            .expect("permutation is valid");
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
 
         let params_on = RuntimeParams::default();
-        let params_off = RuntimeParams { renumber: false, ..params_on };
+        let params_off = RuntimeParams {
+            renumber: false,
+            ..params_on
+        };
         let on = build_advisor_manual(&ds, ModelKind::Gcn, &cfg.spec, params_on).expect("builds");
         let off = build_advisor_manual(&ds, ModelKind::Gcn, &cfg.spec, params_off).expect("builds");
         let ms_on = run_forward(Framework::GnnAdvisor, ModelKind::Gcn, &ds, &cfg, Some(&on))
@@ -51,7 +57,11 @@ fn main() {
             .expect("runs")
             .total_ms();
         let saving = (ms_off - ms_on).max(0.0);
-        let break_even = if saving > 0.0 { format!("{:.0}", wall_ms / saving) } else { "-".into() };
+        let break_even = if saving > 0.0 {
+            format!("{:.0}", wall_ms / saving)
+        } else {
+            "-".into()
+        };
 
         t.row(&[
             spec.name.to_string(),

@@ -16,7 +16,9 @@ use gnnadvisor_tensor::Matrix;
 
 fn main() {
     let cfg = ExperimentConfig::default();
-    let name = std::env::args().nth(1).unwrap_or_else(|| "com-amazon".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "com-amazon".into());
     let spec = table1_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown dataset {name}");
         std::process::exit(1);
@@ -37,8 +39,11 @@ fn main() {
         &ds.graph,
         &gnnadvisor_graph::community::LouvainConfig::default(),
     );
-    let labels: Vec<usize> =
-        detected.community_of.iter().map(|&c| c as usize % ds.num_classes).collect();
+    let labels: Vec<usize> = detected
+        .community_of
+        .iter()
+        .map(|&c| c as usize % ds.num_classes)
+        .collect();
     let dim = 32;
     let features = Matrix::from_fn(ds.graph.num_nodes(), dim, |v, d| {
         let hot = labels[v] % dim;
@@ -56,13 +61,18 @@ fn main() {
 
     let mut t = Table::new(&["Strategy", "per-epoch (sim ms)", "final loss", "final acc"]);
     let mut advisor_ms = 0.0;
-    for (fw, adv) in [(Framework::GnnAdvisor, Some(&advisor)), (Framework::Dgl, None)] {
+    for (fw, adv) in [
+        (Framework::GnnAdvisor, Some(&advisor)),
+        (Framework::Dgl, None),
+    ] {
         let exec = ModelExec::new(&engine, &ds.graph, fw, adv);
         let mut trainer = GcnTrainer::new(&[dim, 16, ds.num_classes], 0.5, 3);
         let mut last = None;
         let mut epoch_ms = 0.0;
         for _ in 0..epochs {
-            let step = trainer.step(&exec, &features, &labels).expect("training step");
+            let step = trainer
+                .step(&exec, &features, &labels)
+                .expect("training step");
             epoch_ms = step.metrics.total_ms();
             last = Some(step);
         }
@@ -83,7 +93,9 @@ fn main() {
     let mut trainer = GcnTrainer::new(&[dim, 16, ds.num_classes], 0.5, 3);
     println!("\nlearning curve (strategy-independent numerics):");
     for epoch in 0..epochs {
-        let step = trainer.step(&exec, &features, &labels).expect("training step");
+        let step = trainer
+            .step(&exec, &features, &labels)
+            .expect("training step");
         println!(
             "  epoch {epoch:>2}: loss {:.4}, accuracy {:>5.1}%",
             step.loss,

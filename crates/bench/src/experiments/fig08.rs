@@ -45,15 +45,15 @@ pub struct Fig8Result {
 }
 
 /// Runs the full sweep. Datasets are independent, so they run on scoped
-/// worker threads (crossbeam); rows are collected in dataset order, so the
-/// output stays deterministic.
+/// worker threads (`std::thread::scope`); rows are collected in dataset
+/// order, so the output stays deterministic.
 pub fn run(cfg: &ExperimentConfig) -> Fig8Result {
     let specs = all_table1();
-    let per_dataset: Vec<Vec<Row>> = crossbeam::thread::scope(|scope| {
+    let per_dataset: Vec<Vec<Row>> = std::thread::scope(|scope| {
         let handles: Vec<_> = specs
             .iter()
             .map(|spec| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let ds = spec.generate(cfg.scale).expect("dataset generates");
                     [ModelKind::Gcn, ModelKind::Gin]
                         .into_iter()
@@ -78,9 +78,11 @@ pub fn run(cfg: &ExperimentConfig) -> Fig8Result {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope join");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let rows: Vec<Row> = per_dataset.into_iter().flatten().collect();
     let gcn: Vec<f64> = rows
         .iter()

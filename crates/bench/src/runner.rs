@@ -70,7 +70,18 @@ impl ExperimentConfig {
     /// scaled to match (see [`scaled_spec`]). Prefer this over struct
     /// update on `Default`, which would keep a cache sized for the default
     /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is a finite number in `(0, 1]` — a zero,
+    /// negative, NaN, or oversized scale would silently generate empty or
+    /// out-of-profile datasets.
     pub fn at_scale(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0 && scale <= 1.0,
+            "dataset scale must be in (0, 1], got {scale} \
+             (check GNNADVISOR_SCALE)"
+        );
         Self {
             scale,
             spec: scaled_spec(GpuSpec::quadro_p6000(), scale),
@@ -84,18 +95,41 @@ impl ExperimentConfig {
 /// dataset fits entirely in the 3 MB L2 and every locality effect the
 /// paper measures (renumbering, Figure 12) vanishes. Compute resources are
 /// left untouched — kernels shrink with the dataset naturally.
+///
+/// # Panics
+///
+/// Panics unless `scale` is a finite number in `(0, 1]`; a zero or
+/// negative scale would shrink the cache model to garbage silently.
 pub fn scaled_spec(mut spec: GpuSpec, scale: f64) -> GpuSpec {
+    assert!(
+        scale.is_finite() && scale > 0.0 && scale <= 1.0,
+        "dataset scale must be in (0, 1], got {scale} \
+         (check GNNADVISOR_SCALE)"
+    );
     spec.l2_bytes = ((spec.l2_bytes as f64 * scale) as usize).max(32 * 1024);
     spec
 }
 
-/// Reads `GNNADVISOR_SCALE`, defaulting to 0.05 and clamping to `(0, 1]`.
+/// Reads `GNNADVISOR_SCALE`, defaulting to 0.05.
+///
+/// # Panics
+///
+/// Panics with a pointed message when the variable is set to something
+/// that is not a number in `(0, 1]` (zero, negative, NaN, or > 1) —
+/// silently clamping a typo like `-0.5` or `5` would run every experiment
+/// at an unintended scale.
 pub fn scale_from_env() -> f64 {
-    std::env::var("GNNADVISOR_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(|s| s.clamp(1e-5, 1.0))
-        .unwrap_or(0.05)
+    let Ok(raw) = std::env::var("GNNADVISOR_SCALE") else {
+        return 0.05;
+    };
+    let parsed = raw.trim().parse::<f64>().ok();
+    match parsed {
+        Some(s) if s.is_finite() && s > 0.0 && s <= 1.0 => s,
+        _ => panic!(
+            "GNNADVISOR_SCALE must be a number in (0, 1], got {raw:?}; \
+             unset it to use the default 0.05"
+        ),
+    }
 }
 
 /// Builds a GNNAdvisor runtime for a dataset + model pair (auto-tuned with
@@ -203,6 +237,24 @@ mod tests {
             ours.total_ms(),
             dgl.total_ms()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn zero_scale_rejected() {
+        ExperimentConfig::at_scale(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn negative_scale_rejected_by_scaled_spec() {
+        scaled_spec(GpuSpec::quadro_p6000(), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn oversized_scale_rejected() {
+        ExperimentConfig::at_scale(1.5);
     }
 
     #[test]

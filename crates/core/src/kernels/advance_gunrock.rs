@@ -76,16 +76,19 @@ impl Kernel for AdvanceKernel<'_> {
             // element at a time. Cache sees the row's lines; the issue
             // pipeline pays one transaction per element per lane, which is
             // the "no dimension fusion" penalty.
-            let offsets: Vec<u64> = col[w..we].iter().map(|&u| u as u64 * row_bytes).collect();
-            sink.global_read_scattered(arrays::FEAT_IN, &offsets, row_bytes);
+            let mut offsets = [0u64; WARP_SIZE as usize];
+            for (slot, &u) in offsets.iter_mut().zip(&col[w..we]) {
+                *slot = u as u64 * row_bytes;
+            }
+            sink.global_read_scattered(arrays::FEAT_IN, &offsets[..we - w], row_bytes);
             // D scalar advance passes: every element is its own load
             // transaction plus per-pass frontier bookkeeping — the "no
             // dimension fusion" cost. 8 issue slots per element covers the
             // uncoalesced load (4), the ALU op, and topology re-reads the
             // later passes repeat (cache-resident, so no extra DRAM).
             let scalar_issue = self.dim as u64 * 8;
-            let lane_cycles: Vec<u64> = (0..lanes as usize).map(|_| scalar_issue).collect();
-            sink.compute_lanes(&lane_cycles);
+            let lane_cycles = [scalar_issue; WARP_SIZE as usize];
+            sink.compute_lanes(&lane_cycles[..lanes as usize]);
 
             // Scalar atomic pushes: one per (edge, dim).
             for e in w..we {

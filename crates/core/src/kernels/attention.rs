@@ -66,8 +66,11 @@ impl Kernel for EdgeAttentionKernel<'_> {
             // Source-side dots gather per lane (4 B scalars, scattered by
             // source id); destination-side dots are contiguous runs and
             // effectively coalesced.
-            let src_offsets: Vec<u64> = col[w..we].iter().map(|&u| u as u64 * 4).collect();
-            sink.global_read_scattered(arrays::FEAT_IN, &src_offsets, 4);
+            let mut src_offsets = [0u64; WARP_SIZE as usize];
+            for (slot, &u) in src_offsets.iter_mut().zip(&col[w..we]) {
+                *slot = u as u64 * 4;
+            }
+            sink.global_read_scattered(arrays::FEAT_IN, &src_offsets[..we - w], 4);
             let dst0 = self.edge_dst[w] as u64;
             let dst1 = self.edge_dst[we - 1] as u64;
             sink.global_read(arrays::FEAT_OUT, dst0 * 4, (dst1 - dst0 + 1) * 4);

@@ -61,47 +61,50 @@ impl Kernel for NodeCentricKernel<'_> {
         let mut warp_nodes = start;
         while warp_nodes < end {
             let warp_end = (warp_nodes + WARP_SIZE as usize).min(end);
-            let lanes: Vec<NodeId> = (warp_nodes..warp_end).map(|v| v as NodeId).collect();
+            let lanes = warp_nodes as NodeId..warp_end as NodeId;
             sink.begin_warp();
 
             // Row-pointer loads coalesce; neighbor-id loads are per-lane.
             sink.global_read(
                 arrays::ROW_PTR,
                 warp_nodes as u64 * 4,
-                lanes.len() as u64 * 4,
+                (warp_end - warp_nodes) as u64 * 4,
             );
 
             // Lockstep neighbor rounds: round r reads the r-th neighbor of
-            // every lane that still has one — per-lane scattered rows.
+            // every lane that still has one — per-lane scattered rows. A
+            // warp is at most 32 lanes, so the round's offsets fit on the
+            // stack.
             let max_deg = lanes
-                .iter()
-                .map(|&v| self.graph.degree(v))
+                .clone()
+                .map(|v| self.graph.degree(v))
                 .max()
                 .unwrap_or(0);
-            let mut offsets = Vec::with_capacity(lanes.len());
+            let mut offsets = [0u64; WARP_SIZE as usize];
             for r in 0..max_deg {
-                offsets.clear();
-                for &v in &lanes {
+                let mut active = 0;
+                for v in lanes.clone() {
                     if let Some(&u) = self.graph.neighbors(v).get(r) {
-                        offsets.push(u as u64 * row_bytes);
+                        offsets[active] = u as u64 * row_bytes;
+                        active += 1;
                     }
                 }
-                if !offsets.is_empty() {
-                    sink.global_read_scattered(arrays::FEAT_IN, &offsets, row_bytes);
+                if active > 0 {
+                    sink.global_read_scattered(arrays::FEAT_IN, &offsets[..active], row_bytes);
                 }
             }
 
             // Per-lane accumulation work: deg * D FMAs — the imbalance the
             // engine converts into low SM efficiency.
             let mut lane_cycles = [0u64; WARP_SIZE as usize];
-            for (i, &v) in lanes.iter().enumerate() {
+            for (i, v) in lanes.clone().enumerate() {
                 lane_cycles[i] = self.graph.degree(v) as u64 * self.dim as u64;
             }
             sink.compute_lanes(&lane_cycles);
 
             // Each lane writes its own output row (scattered across rows,
             // but charged per row since rows are contiguous internally).
-            for &v in &lanes {
+            for v in lanes {
                 if self.graph.degree(v) > 0 {
                     sink.global_write(arrays::FEAT_OUT, v as u64 * row_bytes, row_bytes);
                 }

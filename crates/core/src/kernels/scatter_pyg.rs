@@ -56,9 +56,13 @@ impl Kernel for GatherKernel<'_> {
             let we = (w + WARP_SIZE as usize).min(end);
             sink.begin_warp();
             sink.global_read(arrays::COL_IDX, w as u64 * 4, (we - w) as u64 * 4);
-            // Scattered source-row reads...
-            let offsets: Vec<u64> = col[w..we].iter().map(|&u| u as u64 * row_bytes).collect();
-            sink.global_read_scattered(arrays::FEAT_IN, &offsets, row_bytes);
+            // Scattered source-row reads (a warp is at most 32 lanes, so
+            // the offset list lives on the stack).
+            let mut offsets = [0u64; WARP_SIZE as usize];
+            for (slot, &u) in offsets.iter_mut().zip(&col[w..we]) {
+                *slot = u as u64 * row_bytes;
+            }
+            sink.global_read_scattered(arrays::FEAT_IN, &offsets[..we - w], row_bytes);
             // ...streamed out as a contiguous message block (coalesced, but
             // it is E x D of brand-new traffic).
             sink.global_write(

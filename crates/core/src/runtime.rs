@@ -44,6 +44,13 @@ pub struct AdvisorConfig {
     pub renumber: Option<bool>,
     /// Override: force block-level optimization on/off.
     pub use_shared: Option<bool>,
+    /// Inject a pre-built engine instead of constructing one from `spec`.
+    /// Engines share their [`gnnadvisor_gpu::RunContext`] when cloned, so a
+    /// sweep that hands the same engine to many advisors reuses one set of
+    /// simulation buffers. The injected engine's device is authoritative
+    /// for kernel pricing; keep it consistent with `spec`, which still
+    /// drives tuning.
+    pub engine: Option<Engine>,
 }
 
 impl Default for AdvisorConfig {
@@ -53,6 +60,7 @@ impl Default for AdvisorConfig {
             tune: TuneStrategy::ModelOnly,
             renumber: None,
             use_shared: None,
+            engine: None,
         }
     }
 }
@@ -127,7 +135,7 @@ impl Advisor {
 
         let groups = partition_groups(&graph, params.group_size)?;
         let layout = organize_shared(&groups, params.groups_per_block());
-        let engine = Engine::new(config.spec);
+        let engine = config.engine.unwrap_or_else(|| Engine::new(config.spec));
 
         Ok(Self {
             engine,
@@ -329,6 +337,46 @@ mod tests {
             m_off.dram_read_bytes
         );
         assert!(m_on.cache_hit_rate() > m_off.cache_hit_rate());
+    }
+
+    #[test]
+    fn injected_engine_is_shared_and_thread_count_invariant() {
+        let g = graph();
+        // The full advisor pipeline (renumbering included) must price
+        // identically at any simulation worker count, and an injected
+        // shared engine must reproduce results run-to-run.
+        let mut runs = Vec::new();
+        for threads in [1, 2, 5] {
+            let cfg = AdvisorConfig {
+                engine: Some(Engine::new(GpuSpec::quadro_p6000()).with_sim_threads(threads)),
+                renumber: Some(true),
+                ..Default::default()
+            };
+            let adv =
+                Advisor::new(&g, 96, 16, 10, AggOrder::UpdateThenAggregate, cfg).expect("builds");
+            runs.push(adv.aggregate(32).expect("runs"));
+        }
+        assert_eq!(runs[0], runs[1], "1 vs 2 workers");
+        assert_eq!(runs[0], runs[2], "1 vs 5 workers");
+
+        let shared = Engine::new(GpuSpec::quadro_p6000());
+        let build = |engine: Engine| {
+            Advisor::new(
+                &g,
+                96,
+                16,
+                10,
+                AggOrder::UpdateThenAggregate,
+                AdvisorConfig {
+                    engine: Some(engine),
+                    ..Default::default()
+                },
+            )
+            .expect("builds")
+        };
+        let a = build(shared.clone()).aggregate(32).expect("runs");
+        let b = build(shared).aggregate(32).expect("runs");
+        assert_eq!(a, b, "shared context must not leak state across runs");
     }
 
     #[test]

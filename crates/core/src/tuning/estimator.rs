@@ -14,7 +14,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gnnadvisor_gpu::GpuSpec;
+use gnnadvisor_gpu::{Engine, GpuSpec};
 
 use crate::input::InputInfo;
 use crate::tuning::model;
@@ -73,6 +73,19 @@ impl Estimator {
     /// Runs the search with the analytical Eq. 2 fitness.
     pub fn tune(&self) -> RuntimeParams {
         self.tune_with(|p| model::estimated_latency(p, &self.input, &self.spec))
+    }
+
+    /// Runs the search with a simulation-backed fitness. The closure gets
+    /// one [`Engine`] that is reused for every candidate evaluation, so
+    /// the whole search shares a single
+    /// [`gnnadvisor_gpu::RunContext`] — one set of cache arrays, hotspot
+    /// maps, and warp accumulators — instead of allocating per candidate.
+    pub fn tune_profiled(
+        &self,
+        mut latency: impl FnMut(&RuntimeParams, &Engine) -> f64,
+    ) -> RuntimeParams {
+        let engine = Engine::new(self.spec.clone());
+        self.tune_with(|p| latency(p, &engine))
     }
 
     /// Runs the search with a caller-provided latency function (lower is
@@ -215,6 +228,26 @@ mod tests {
             tuned_score <= grid_score * 1.05,
             "tuned {tuned_score} vs grid {grid_score}"
         );
+    }
+
+    #[test]
+    fn profiled_search_reuses_one_engine_and_is_deterministic() {
+        let est = Estimator::new(input(), GpuSpec::quadro_p6000(), EstimatorConfig::default());
+        // Simulation-backed fitness: price the update GEMM each candidate
+        // implies. Every evaluation must see the same shared engine.
+        let mut engines_seen: Vec<*const GpuSpec> = Vec::new();
+        let fitness = |p: &RuntimeParams, e: &Engine| {
+            engines_seen.push(e.spec() as *const GpuSpec);
+            e.run_gemm(1_000, p.threads_per_block as usize, 16).time_ms
+        };
+        let a = est.tune_profiled(fitness);
+        assert!(
+            engines_seen.windows(2).all(|w| w[0] == w[1]),
+            "every candidate must be scored on the same engine"
+        );
+        let b =
+            est.tune_profiled(|p, e| e.run_gemm(1_000, p.threads_per_block as usize, 16).time_ms);
+        assert_eq!(a, b, "profiled search is deterministic given the seed");
     }
 
     #[test]

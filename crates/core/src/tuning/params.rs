@@ -44,7 +44,9 @@ impl RuntimeParams {
                 reason: "group_size must be >= 1".into(),
             });
         }
-        if !(32..=1024).contains(&self.threads_per_block) || !self.threads_per_block.is_multiple_of(32) {
+        if !(32..=1024).contains(&self.threads_per_block)
+            || !self.threads_per_block.is_multiple_of(32)
+        {
             return Err(CoreError::InvalidParams {
                 reason: format!(
                     "threads_per_block {} must be a multiple of 32 in [32, 1024]",

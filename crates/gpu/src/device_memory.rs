@@ -60,19 +60,34 @@ impl std::error::Error for OutOfMemory {}
 impl DeviceMemory {
     /// An empty tracker with the device's capacity.
     pub fn new(spec: &GpuSpec) -> Self {
-        Self { capacity: device_capacity_bytes(spec), allocations: Vec::new(), used: 0 }
+        Self {
+            capacity: device_capacity_bytes(spec),
+            allocations: Vec::new(),
+            used: 0,
+        }
     }
 
     /// A tracker with an explicit capacity (tests, hypothetical devices).
     pub fn with_capacity(capacity: u64) -> Self {
-        Self { capacity, allocations: Vec::new(), used: 0 }
+        Self {
+            capacity,
+            allocations: Vec::new(),
+            used: 0,
+        }
     }
 
     /// Attempts an allocation.
     pub fn alloc(&mut self, name: impl Into<String>, bytes: u64) -> Result<(), OutOfMemory> {
-        let request = Allocation { name: name.into(), bytes };
+        let request = Allocation {
+            name: name.into(),
+            bytes,
+        };
         if self.used + bytes > self.capacity {
-            return Err(OutOfMemory { request, used: self.used, capacity: self.capacity });
+            return Err(OutOfMemory {
+                request,
+                used: self.used,
+                capacity: self.capacity,
+            });
         }
         self.used += bytes;
         self.allocations.push(request);
@@ -107,12 +122,7 @@ impl DeviceMemory {
 
     /// Convenience: whether a whole GNN-inference working set fits —
     /// features in and out at the widest layer plus the adjacency arrays.
-    pub fn plan_fits(
-        num_nodes: usize,
-        num_edges: usize,
-        max_dim: usize,
-        spec: &GpuSpec,
-    ) -> bool {
+    pub fn plan_fits(num_nodes: usize, num_edges: usize, max_dim: usize, spec: &GpuSpec) -> bool {
         let mut mem = DeviceMemory::new(spec);
         let row = max_dim as u64 * 4;
         mem.alloc("features_in", num_nodes as u64 * row)
@@ -171,7 +181,10 @@ mod tests {
             ok &= train.alloc(format!("edge_buf_{layer}"), e * row).is_ok();
         }
         assert!(fits, "single-pass inference fits");
-        assert!(!ok, "SAGA training working set with edge buffers must overflow");
+        assert!(
+            !ok,
+            "SAGA training working set with edge buffers must overflow"
+        );
     }
 
     #[test]

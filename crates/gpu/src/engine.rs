@@ -21,15 +21,39 @@
 //! SM efficiency composes tail balance (how evenly SMs finish) with warp
 //! issue utilization (how much of each issued cycle is useful lanes) — the
 //! two wastes that group-based workload management eliminates.
+//!
+//! # Parallel, allocation-free execution
+//!
+//! The block loop runs sharded: [`crate::context::plan_shards`] splits the
+//! launch into contiguous chunks in dispatch order, each simulated against
+//! a private partition of the L2's sets. Worker threads claim whole shards,
+//! so cross-block temporal locality (the paper's Figure 12 signal) is
+//! preserved within each chunk, and the decomposition depends only on the
+//! launch shape — results are bit-identical for any worker count, including
+//! one. Per-chunk metrics merge with order-independent sums; SM placement
+//! runs serially over the concatenated per-shard block costs, in dispatch
+//! order, exactly as the serial loop would.
+//!
+//! All mutable state lives in a recycled [`RunContext`], so steady-state
+//! launches allocate nothing on the hot path. The worker count comes from
+//! `GNNADVISOR_SIM_THREADS` (or [`Engine::with_sim_threads`]); `0` means
+//! one worker per available core.
 
-use crate::cache::SetAssocCache;
-use crate::kernel::{BlockSink, Kernel, WARP_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::context::{plan_shards, RunContext, ShardSlot};
+use crate::kernel::{BlockSink, GridConfig, Kernel, WARP_SIZE};
 use crate::metrics::KernelMetrics;
 use crate::spec::GpuSpec;
 use crate::transfer::{transfer, TransferMetrics};
 use crate::Result;
 
 /// A simulated GPU ready to run kernels.
+///
+/// Cloning an engine is cheap and **shares** its [`RunContext`], so a sweep
+/// that clones one engine per candidate still reuses a single set of
+/// simulation buffers.
 ///
 /// # Examples
 ///
@@ -47,12 +71,37 @@ use crate::Result;
 #[derive(Debug, Clone)]
 pub struct Engine {
     spec: GpuSpec,
+    /// Worker threads for the sharded block loop; `0` = one per core.
+    sim_threads: usize,
+    ctx: Arc<Mutex<RunContext>>,
 }
 
 impl Engine {
-    /// Creates an engine for the given device.
+    /// Creates an engine for the given device. The worker count defaults to
+    /// the `GNNADVISOR_SIM_THREADS` environment variable (`0` or unset /
+    /// unparsable = one worker per available core).
     pub fn new(spec: GpuSpec) -> Self {
-        Self { spec }
+        let sim_threads = std::env::var("GNNADVISOR_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        Self {
+            spec,
+            sim_threads,
+            ctx: Arc::new(Mutex::new(RunContext::new())),
+        }
+    }
+
+    /// Overrides the simulation worker count (`0` = one per core). Results
+    /// are bit-identical for any value; this only trades wall-clock time.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
+    /// The configured simulation worker count (`0` = one per core).
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// The device specification.
@@ -60,25 +109,21 @@ impl Engine {
         &self.spec
     }
 
-    /// Launches a kernel and returns its metrics.
+    /// Launches a kernel against the engine's own (shared) context.
     pub fn run(&self, kernel: &dyn Kernel) -> Result<KernelMetrics> {
+        let mut ctx = self.ctx.lock().unwrap_or_else(|p| p.into_inner());
+        self.run_in(&mut ctx, kernel)
+    }
+
+    /// Launches a kernel against an explicit context. The context is fully
+    /// re-prepared first, so any context yields identical results; passing
+    /// the same one across launches just recycles its allocations.
+    pub fn run_in(&self, ctx: &mut RunContext, kernel: &dyn Kernel) -> Result<KernelMetrics> {
         let grid = kernel.grid();
         grid.validate(&self.spec)?;
 
-        let mut cache =
-            SetAssocCache::new(self.spec.l2_sets(), self.spec.l2_ways, self.spec.line_bytes);
-        let mut atomic_hotspots: std::collections::HashMap<u64, u64> =
-            std::collections::HashMap::new();
-
-        // Earliest-finish-time greedy SM assignment.
-        let mut sm_busy = vec![0u64; self.spec.num_sms as usize];
-        let mut totals = KernelMetrics {
-            name: kernel.name().to_string(),
-            ..Default::default()
-        };
-        let mut useful_total = 0u64;
-        let mut busy_issue_total = 0u64;
-        let mut serialized_atomics_total = 0u64;
+        let plan = plan_shards(grid.num_blocks, self.spec.l2_sets());
+        ctx.prepare(&self.spec, &plan);
 
         let sm_bw_cycles_per_byte =
             self.spec.num_sms as f64 / self.spec.dram_bytes_per_cycle().max(1e-9);
@@ -99,55 +144,87 @@ impl Engine {
         // right-hand rise of the paper's Figure 11b.
         let hiding = self.spec.memory_parallelism.min((resident / 2).max(1));
 
-        for block_id in 0..grid.num_blocks {
-            let mut sink = BlockSink::new(
-                &self.spec,
-                &mut cache,
-                &mut atomic_hotspots,
-                grid.threads_per_block,
-            );
-            kernel.emit_block(block_id, &mut sink);
-            sink.finish();
-            let acc = sink.acc;
+        let workers = self.worker_count(plan.num_shards);
+        if workers <= 1 {
+            for shard in 0..plan.num_shards {
+                let slot = ctx.shards[shard]
+                    .get_mut()
+                    .unwrap_or_else(|p| p.into_inner());
+                self.simulate_chunk(
+                    kernel,
+                    &grid,
+                    plan.range(shard, grid.num_blocks),
+                    hiding,
+                    sm_bw_cycles_per_byte,
+                    slot,
+                );
+            }
+        } else {
+            // Workers claim whole shards from a shared counter. Claim order
+            // is racy but irrelevant: each shard's result depends only on
+            // its own chunk, and the merge below is order-independent.
+            let next = AtomicUsize::new(0);
+            let shards = &ctx.shards[..plan.num_shards];
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards.len() {
+                            break;
+                        }
+                        let mut slot = shards[shard].lock().unwrap_or_else(|p| p.into_inner());
+                        self.simulate_chunk(
+                            kernel,
+                            &grid,
+                            plan.range(shard, grid.num_blocks),
+                            hiding,
+                            sm_bw_cycles_per_byte,
+                            &mut slot,
+                        );
+                    });
+                }
+            });
+        }
 
-            let busy_sum: u64 = acc.warps.iter().map(|w| w.busy).sum();
-            let useful_sum: u64 = acc.warps.iter().map(|w| w.useful).sum();
-            let critical: u64 = acc
-                .warps
-                .iter()
-                .map(|w| w.busy + w.stall / hiding)
-                .max()
-                .unwrap_or(0);
-            let issue_bound = busy_sum / self.spec.warp_schedulers as u64;
-            let block_dram = acc.dram_read_bytes + acc.dram_write_bytes;
-            let bw_bound = (block_dram as f64 * sm_bw_cycles_per_byte) as u64;
-            // Stall throughput: the SM can keep ~hiding x 8 memory
-            // requests in flight across all the block's warps; below that
-            // occupancy the block's aggregate stall time becomes the
-            // bottleneck (the low-occupancy penalty of huge blocks).
-            let stall_sum: u64 = acc.warps.iter().map(|w| w.stall).sum();
-            let stall_bound = stall_sum / (hiding * 8);
-            let block_cycles = critical.max(issue_bound).max(bw_bound).max(stall_bound)
-                + acc.syncs * self.spec.sync_cycles
-                + self.spec.block_overhead_cycles;
-
-            // Place on the least-busy SM.
-            let (sm, _) = sm_busy
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &t)| t)
-                .expect("num_sms > 0 by spec");
-            sm_busy[sm] += block_cycles;
-
-            totals.dram_read_bytes += acc.dram_read_bytes;
-            totals.dram_write_bytes += acc.dram_write_bytes;
-            totals.l2_hits += acc.l2_hits;
-            totals.l2_misses += acc.l2_misses;
-            totals.atomic_ops += acc.atomic_ops;
-            serialized_atomics_total += acc.serialized_atomics;
-            totals.shared_bytes += acc.shared_bytes;
-            useful_total += useful_sum;
-            busy_issue_total += busy_sum;
+        // Serial merge. Counter totals are plain sums and hotspot rounds
+        // add per line, so shard order cannot matter; SM placement walks
+        // the per-shard block costs in dispatch order, exactly like the
+        // serial loop.
+        let RunContext {
+            shards,
+            merged_hotspots,
+            sm_busy,
+        } = ctx;
+        let mut totals = KernelMetrics {
+            name: kernel.name().to_string(),
+            ..Default::default()
+        };
+        let mut useful_total = 0u64;
+        let mut busy_issue_total = 0u64;
+        let mut serialized_atomics_total = 0u64;
+        for slot in &mut shards[..plan.num_shards] {
+            let slot = slot.get_mut().unwrap_or_else(|p| p.into_inner());
+            totals.dram_read_bytes += slot.totals.dram_read_bytes;
+            totals.dram_write_bytes += slot.totals.dram_write_bytes;
+            totals.l2_hits += slot.totals.l2_hits;
+            totals.l2_misses += slot.totals.l2_misses;
+            totals.atomic_ops += slot.totals.atomic_ops;
+            totals.shared_bytes += slot.totals.shared_bytes;
+            serialized_atomics_total += slot.totals.serialized_atomics;
+            useful_total += slot.totals.useful_cycles;
+            busy_issue_total += slot.totals.busy_issue_cycles;
+            for (&line, &rounds) in &slot.hotspots {
+                *merged_hotspots.entry(line).or_insert(0) += rounds;
+            }
+            // Earliest-finish-time greedy SM assignment.
+            for &block_cycles in &slot.block_cycles {
+                let (sm, _) = sm_busy
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &t)| t)
+                    .expect("num_sms > 0 by spec");
+                sm_busy[sm] += block_cycles;
+            }
         }
 
         let busiest = sm_busy.iter().copied().max().unwrap_or(0);
@@ -156,7 +233,7 @@ impl Engine {
             / self.spec.dram_bytes_per_cycle().max(1e-9)) as u64;
         // The hottest line's round count is the longest per-word atomic
         // serial chain in the kernel.
-        let hotspot_rounds = atomic_hotspots.values().copied().max().unwrap_or(0);
+        let hotspot_rounds = merged_hotspots.values().copied().max().unwrap_or(0);
         let atomic_bound = hotspot_rounds.saturating_mul(self.spec.atomic_serialize_cycles);
         let body = busiest.max(device_bw_bound).max(atomic_bound);
         let elapsed = body + self.spec.kernel_launch_cycles;
@@ -196,6 +273,68 @@ impl Engine {
         totals.sm_efficiency = (feed_eff.min(1.0) * warp_eff).clamp(0.0, 1.0);
 
         Ok(totals)
+    }
+
+    /// Simulates one contiguous chunk of blocks against its shard's private
+    /// cache and hotspot map, in dispatch order.
+    fn simulate_chunk(
+        &self,
+        kernel: &dyn Kernel,
+        grid: &GridConfig,
+        blocks: std::ops::Range<usize>,
+        hiding: u64,
+        sm_bw_cycles_per_byte: f64,
+        slot: &mut ShardSlot,
+    ) {
+        let ShardSlot {
+            cache,
+            hotspots,
+            acc,
+            block_cycles,
+            totals,
+        } = slot;
+        for block_id in blocks {
+            let mut sink = BlockSink::new(&self.spec, cache, hotspots, acc, grid.threads_per_block);
+            kernel.emit_block(block_id, &mut sink);
+            sink.finish();
+
+            let busy_sum: u64 = acc.warps.iter().map(|w| w.busy).sum();
+            let useful_sum: u64 = acc.warps.iter().map(|w| w.useful).sum();
+            let critical: u64 = acc
+                .warps
+                .iter()
+                .map(|w| w.busy + w.stall / hiding)
+                .max()
+                .unwrap_or(0);
+            let issue_bound = busy_sum / self.spec.warp_schedulers as u64;
+            let block_dram = acc.dram_read_bytes + acc.dram_write_bytes;
+            let bw_bound = (block_dram as f64 * sm_bw_cycles_per_byte) as u64;
+            // Stall throughput: the SM can keep ~hiding x 8 memory
+            // requests in flight across all the block's warps; below that
+            // occupancy the block's aggregate stall time becomes the
+            // bottleneck (the low-occupancy penalty of huge blocks).
+            let stall_sum: u64 = acc.warps.iter().map(|w| w.stall).sum();
+            let stall_bound = stall_sum / (hiding * 8);
+            let cycles = critical.max(issue_bound).max(bw_bound).max(stall_bound)
+                + acc.syncs * self.spec.sync_cycles
+                + self.spec.block_overhead_cycles;
+
+            block_cycles.push(cycles);
+            totals.add_block(acc, busy_sum, useful_sum);
+        }
+    }
+
+    /// How many worker threads to spawn for `num_shards` shards.
+    fn worker_count(&self, num_shards: usize) -> usize {
+        if num_shards <= 1 {
+            return 1;
+        }
+        let configured = if self.sim_threads > 0 {
+            self.sim_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        configured.min(num_shards)
     }
 
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP) with
@@ -318,6 +457,41 @@ mod tests {
         }
     }
 
+    /// Blocks read overlapping windows of a shared array and hit a small
+    /// pool of atomic counters — sensitive to both cache state ordering and
+    /// hotspot-map merge order, which is what makes it a good determinism
+    /// probe across thread counts.
+    struct Windowed {
+        blocks: usize,
+    }
+
+    impl Kernel for Windowed {
+        fn name(&self) -> &str {
+            "windowed"
+        }
+        fn grid(&self) -> GridConfig {
+            GridConfig {
+                num_blocks: self.blocks,
+                threads_per_block: 2 * WARP_SIZE,
+                shared_mem_bytes: 0,
+            }
+        }
+        fn emit_block(&self, block_id: usize, sink: &mut BlockSink<'_>) {
+            sink.begin_warp();
+            sink.compute(200, WARP_SIZE);
+            // 1 KB window sliding 256 B per block: each block re-reads 3/4
+            // of its predecessor's lines.
+            sink.global_read(ArrayId(1), block_id as u64 * 256, 1024);
+            sink.begin_warp();
+            let offsets: Vec<u64> = (0..WARP_SIZE as u64)
+                .map(|lane| (block_id as u64 * 31 + lane * 97) % 8192)
+                .collect();
+            sink.global_read_scattered(ArrayId(1), &offsets, 4);
+            sink.atomic_rmw(ArrayId(2), (block_id % 7) as u64 * 4, 4, 32);
+            sink.sync();
+        }
+    }
+
     fn engine() -> Engine {
         Engine::new(GpuSpec::quadro_p6000())
     }
@@ -334,6 +508,65 @@ mod tests {
         let a = e.run(&k).unwrap();
         let b = e.run(&k).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // The sharded engine must be bit-identical for any worker count,
+        // including the serial fast path, on a kernel whose cache hits and
+        // atomic hotspots are renumbering/order sensitive.
+        let k = Windowed { blocks: 320 };
+        let spec = GpuSpec::quadro_p6000();
+        let serial = Engine::new(spec.clone())
+            .with_sim_threads(1)
+            .run(&k)
+            .unwrap();
+        assert!(serial.l2_hits > 0, "probe kernel must exercise the cache");
+        assert!(serial.atomic_ops > 0, "probe kernel must exercise atomics");
+        for threads in [2, 3, 8, 0] {
+            let m = Engine::new(spec.clone())
+                .with_sim_threads(threads)
+                .run(&k)
+                .unwrap();
+            assert_eq!(m, serial, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn context_reuse_is_transparent() {
+        // Interleaving other kernels through the same shared context must
+        // not leak state into a repeated launch.
+        let e = engine();
+        let k = Windowed { blocks: 200 };
+        let first = e.run(&k).unwrap();
+        e.run(&Uniform {
+            blocks: 70,
+            warps: 3,
+            cycles: 123,
+            bytes: 512,
+        })
+        .unwrap();
+        e.run(&HotAtomic {
+            blocks: 60,
+            per_block: 50,
+        })
+        .unwrap();
+        let again = e.run(&k).unwrap();
+        assert_eq!(first, again);
+        // A clone shares the context and still reproduces the result.
+        assert_eq!(e.clone().run(&k).unwrap(), first);
+    }
+
+    #[test]
+    fn explicit_context_matches_engine_context() {
+        let e = engine();
+        let k = Windowed { blocks: 128 };
+        let mut ctx = RunContext::new();
+        let via_fresh = e.run_in(&mut ctx, &k).unwrap();
+        let via_engine = e.run(&k).unwrap();
+        assert_eq!(via_fresh, via_engine);
+        // Reusing the explicit context is also transparent.
+        assert_eq!(e.run_in(&mut ctx, &k).unwrap(), via_fresh);
     }
 
     #[test]
@@ -494,15 +727,32 @@ mod tests {
     fn limiter_classification() {
         let e = engine();
         // Tiny kernel: launch-bound.
-        let tiny = e.run(&Uniform { blocks: 1, warps: 1, cycles: 10, bytes: 0 }).unwrap();
+        let tiny = e
+            .run(&Uniform {
+                blocks: 1,
+                warps: 1,
+                cycles: 10,
+                bytes: 0,
+            })
+            .unwrap();
         assert_eq!(tiny.limiter, crate::metrics::Limiter::LaunchOverhead);
         // Pure compute: SM-time-bound.
         let compute = e
-            .run(&Uniform { blocks: 600, warps: 8, cycles: 50_000, bytes: 0 })
+            .run(&Uniform {
+                blocks: 600,
+                warps: 8,
+                cycles: 50_000,
+                bytes: 0,
+            })
             .unwrap();
         assert_eq!(compute.limiter, crate::metrics::Limiter::SmTime);
         // Atomic hammer: atomic-hotspot-bound.
-        let hot = e.run(&HotAtomic { blocks: 60, per_block: 5_000 }).unwrap();
+        let hot = e
+            .run(&HotAtomic {
+                blocks: 60,
+                per_block: 5_000,
+            })
+            .unwrap();
         assert_eq!(hot.limiter, crate::metrics::Limiter::AtomicHotspot);
     }
 

@@ -63,7 +63,11 @@ impl GridConfig {
 pub const WARP_SIZE: u32 = 32;
 
 /// A kernel that can be launched on the simulated device.
-pub trait Kernel {
+///
+/// `Sync` is required so the engine can shard one launch's block loop
+/// across scoped worker threads; emitters are read-only descriptions of
+/// the launch, so this is free in practice.
+pub trait Kernel: Sync {
     /// Kernel name for reports.
     fn name(&self) -> &str;
 
@@ -86,7 +90,9 @@ pub(crate) struct WarpAcc {
     pub stall: u64,
 }
 
-/// Per-block accumulators.
+/// Per-block accumulators. Owned by the run context and recycled across
+/// blocks: [`BlockAcc::reset`] zeroes the counters while keeping the warp
+/// vector's capacity, so steady-state block simulation allocates nothing.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct BlockAcc {
     pub warps: Vec<WarpAcc>,
@@ -98,6 +104,21 @@ pub(crate) struct BlockAcc {
     pub serialized_atomics: u64,
     pub shared_bytes: u64,
     pub syncs: u64,
+}
+
+impl BlockAcc {
+    /// Clears the accumulators for the next block, keeping allocations.
+    pub fn reset(&mut self) {
+        self.warps.clear();
+        self.dram_read_bytes = 0;
+        self.dram_write_bytes = 0;
+        self.l2_hits = 0;
+        self.l2_misses = 0;
+        self.atomic_ops = 0;
+        self.serialized_atomics = 0;
+        self.shared_bytes = 0;
+        self.syncs = 0;
+    }
 }
 
 /// The engine-provided consumer of a block's op stream.
@@ -116,7 +137,9 @@ pub struct BlockSink<'a> {
     /// in each block will become severer", Section 7.1) — the right-hand
     /// rise of Figure 11b.
     contention: u64,
-    pub(crate) acc: BlockAcc,
+    /// Borrowed from the run context so its buffers outlive the sink and
+    /// are recycled across blocks. [`BlockSink::new`] resets it.
+    pub(crate) acc: &'a mut BlockAcc,
     current: Option<WarpAcc>,
 }
 
@@ -125,15 +148,17 @@ impl<'a> BlockSink<'a> {
         spec: &'a crate::GpuSpec,
         cache: &'a mut crate::cache::SetAssocCache,
         atomic_hotspots: &'a mut std::collections::HashMap<u64, u64>,
+        acc: &'a mut BlockAcc,
         threads_per_block: u32,
     ) -> Self {
         let contention = ((threads_per_block / WARP_SIZE) as u64 / 8).max(1);
+        acc.reset();
         Self {
             spec,
             cache,
             atomic_hotspots,
             contention,
-            acc: BlockAcc::default(),
+            acc,
             current: None,
         }
     }
@@ -424,16 +449,27 @@ mod tests {
     use crate::cache::SetAssocCache;
     use crate::GpuSpec;
 
-    fn harness() -> (GpuSpec, SetAssocCache, std::collections::HashMap<u64, u64>) {
+    #[allow(clippy::type_complexity)]
+    fn harness() -> (
+        GpuSpec,
+        SetAssocCache,
+        std::collections::HashMap<u64, u64>,
+        BlockAcc,
+    ) {
         let spec = GpuSpec::quadro_p6000();
         let cache = SetAssocCache::new(spec.l2_sets(), spec.l2_ways, spec.line_bytes);
-        (spec, cache, std::collections::HashMap::new())
+        (
+            spec,
+            cache,
+            std::collections::HashMap::new(),
+            BlockAcc::default(),
+        )
     }
 
     #[test]
     fn compute_lanes_charges_max_counts_sum() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.compute_lanes(&[10, 2, 2, 2]);
         sink.finish();
@@ -444,8 +480,8 @@ mod tests {
 
     #[test]
     fn coalesced_read_uses_line_transactions() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.global_read(ArrayId(0), 0, 128); // exactly one line
         sink.finish();
@@ -458,8 +494,8 @@ mod tests {
 
     #[test]
     fn scattered_read_pays_per_lane() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         // Four lanes touching four distinct lines.
         sink.global_read_scattered(ArrayId(0), &[0, 4096, 8192, 12288], 4);
@@ -467,8 +503,8 @@ mod tests {
         assert_eq!(sink.acc.l2_misses, 4, "each lane is its own transaction");
 
         // The same data read coalesced touches one line per 128 B.
-        let (spec2, mut cache2, mut hot2) = harness();
-        let mut sink2 = BlockSink::new(&spec2, &mut cache2, &mut hot2, 256);
+        let (spec2, mut cache2, mut hot2, mut acc2) = harness();
+        let mut sink2 = BlockSink::new(&spec2, &mut cache2, &mut hot2, &mut acc2, 256);
         sink2.begin_warp();
         sink2.global_read(ArrayId(0), 0, 16);
         sink2.finish();
@@ -477,8 +513,8 @@ mod tests {
 
     #[test]
     fn reuse_hits_cache() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.global_read(ArrayId(1), 0, 256);
         sink.global_read(ArrayId(1), 0, 256);
@@ -490,8 +526,8 @@ mod tests {
 
     #[test]
     fn arrays_do_not_alias() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.global_read(ArrayId(0), 0, 128);
         sink.global_read(ArrayId(1), 0, 128);
@@ -504,8 +540,8 @@ mod tests {
 
     #[test]
     fn atomic_contention_serializes() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.atomic_rmw(ArrayId(2), 0, 4, 1);
         sink.begin_warp();
@@ -559,8 +595,8 @@ mod tests {
 
     #[test]
     fn shared_access_is_cheap() {
-        let (spec, mut cache, mut hot) = harness();
-        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, 256);
+        let (spec, mut cache, mut hot, mut acc) = harness();
+        let mut sink = BlockSink::new(&spec, &mut cache, &mut hot, &mut acc, 256);
         sink.begin_warp();
         sink.shared_access(128);
         sink.finish();

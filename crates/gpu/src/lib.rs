@@ -23,6 +23,7 @@
 //! identical inputs produce identical metrics.
 
 pub mod cache;
+pub mod context;
 pub mod device_memory;
 pub mod engine;
 pub mod kernel;
@@ -30,6 +31,7 @@ pub mod metrics;
 pub mod spec;
 pub mod transfer;
 
+pub use context::RunContext;
 pub use device_memory::DeviceMemory;
 pub use engine::Engine;
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};

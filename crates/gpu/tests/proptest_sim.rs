@@ -77,6 +77,34 @@ proptest! {
         prop_assert_eq!(m.num_blocks as usize, k.blocks.len().max(1));
     }
 
+    /// Sharded and serial simulation agree: tiling any generated kernel
+    /// past the sharding threshold (64+ blocks, so the parallel
+    /// decomposition actually engages), the conserved quantities — DRAM
+    /// bytes, atomic ops, block count — and indeed the full metrics are
+    /// bit-identical between 1 worker and many.
+    #[test]
+    fn sharded_totals_match_serial(k in arb_kernel(), workers in 2usize..9) {
+        let mut big = k;
+        let tile = big.blocks.clone();
+        while big.blocks.len() < 64 {
+            big.blocks.extend(tile.iter().cloned());
+        }
+        let spec = GpuSpec::quadro_p6000();
+        let serial = Engine::new(spec.clone())
+            .with_sim_threads(1)
+            .run(&big)
+            .expect("runs");
+        let sharded = Engine::new(spec)
+            .with_sim_threads(workers)
+            .run(&big)
+            .expect("runs");
+        prop_assert_eq!(serial.dram_read_bytes, sharded.dram_read_bytes);
+        prop_assert_eq!(serial.dram_write_bytes, sharded.dram_write_bytes);
+        prop_assert_eq!(serial.atomic_ops, sharded.atomic_ops);
+        prop_assert_eq!(serial.num_blocks, sharded.num_blocks);
+        prop_assert_eq!(serial, sharded, "full metrics must be bit-identical");
+    }
+
     /// Monotonicity: appending a block never makes the kernel faster.
     #[test]
     fn more_blocks_never_faster(k in arb_kernel()) {

@@ -34,7 +34,11 @@ pub struct Batch {
 /// Panics if `component_of.len() != graph.num_nodes()` or a component
 /// exceeds `max_nodes`.
 pub fn split_batches(graph: &Csr, component_of: &[u32], max_nodes: usize) -> Vec<Batch> {
-    assert_eq!(component_of.len(), graph.num_nodes(), "one component id per node");
+    assert_eq!(
+        component_of.len(),
+        graph.num_nodes(),
+        "one component id per node"
+    );
     let n = graph.num_nodes();
     let mut batches = Vec::new();
     let mut start = 0usize;
@@ -61,10 +65,10 @@ pub fn split_batches(graph: &Csr, component_of: &[u32], max_nodes: usize) -> Vec
         // Rebase the slice into a standalone CSR.
         let row_ptr_parent = graph.row_ptr();
         let base_edge = row_ptr_parent[start];
-        let mut row_ptr = Vec::with_capacity(end - start + 1);
-        for v in start..=end {
-            row_ptr.push(row_ptr_parent[v] - base_edge);
-        }
+        let row_ptr: Vec<usize> = row_ptr_parent[start..=end]
+            .iter()
+            .map(|&e| e - base_edge)
+            .collect();
         let col_idx: Vec<NodeId> = graph.col_idx()[base_edge..row_ptr_parent[end]]
             .iter()
             .map(|&u| {
@@ -73,7 +77,10 @@ pub fn split_batches(graph: &Csr, component_of: &[u32], max_nodes: usize) -> Vec
             })
             .collect();
         let g = Csr::from_raw(end - start, row_ptr, col_idx).expect("slice preserves invariants");
-        batches.push(Batch { graph: g, node_range: (start, end) });
+        batches.push(Batch {
+            graph: g,
+            node_range: (start, end),
+        });
         start = end;
     }
     batches

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/ci.sh  (run from anywhere; no registry access required)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --offline --workspace -q
+
+echo "CI green."

@@ -61,7 +61,9 @@ impl CliOptions {
         let mut it = args.iter();
         while let Some(key) = it.next() {
             let mut need = || {
-                it.next().cloned().ok_or_else(|| format!("{key} needs a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{key} needs a value"))
             };
             match key.as_str() {
                 "--dataset" => opts.dataset = Some(need()?),
@@ -74,12 +76,14 @@ impl CliOptions {
                 "--model" => opts.model = need()?.to_lowercase(),
                 "--gpu" => opts.gpu = need()?.to_lowercase(),
                 "--feat-dim" => {
-                    opts.feat_dim =
-                        need()?.parse().map_err(|_| "--feat-dim needs an integer".to_string())?
+                    opts.feat_dim = need()?
+                        .parse()
+                        .map_err(|_| "--feat-dim needs an integer".to_string())?
                 }
                 "--classes" => {
-                    opts.num_classes =
-                        need()?.parse().map_err(|_| "--classes needs an integer".to_string())?
+                    opts.num_classes = need()?
+                        .parse()
+                        .map_err(|_| "--classes needs an integer".to_string())?
                 }
                 other => return Err(format!("unknown option {other}")),
             }
@@ -97,8 +101,7 @@ impl CliOptions {
 
     fn load(&self) -> Result<Dataset, String> {
         if let Some(path) = &self.edge_list {
-            let graph =
-                load_edge_list(path, &LoadOptions::default()).map_err(|e| e.to_string())?;
+            let graph = load_edge_list(path, &LoadOptions::default()).map_err(|e| e.to_string())?;
             let spec = gnnadvisor_datasets::DatasetSpec {
                 name: "edge-list",
                 num_nodes: graph.num_nodes(),
@@ -117,7 +120,10 @@ impl CliOptions {
                 num_classes: self.num_classes,
             });
         }
-        let name = self.dataset.as_deref().ok_or("pass --dataset NAME or --edge-list FILE")?;
+        let name = self
+            .dataset
+            .as_deref()
+            .ok_or("pass --dataset NAME or --edge-list FILE")?;
         let spec = table1_by_name(name)
             .ok_or_else(|| format!("unknown dataset {name}; see Table 1 for names"))?;
         spec.generate(self.scale).map_err(|e| e.to_string())
@@ -129,7 +135,13 @@ pub fn analyze(opts: &CliOptions) -> CliResult {
     let ds = opts.load()?;
     let spec = opts.spec()?;
     let stats = DegreeStats::of(&ds.graph);
-    let info = extract(&ds.graph, ds.feat_dim, 16, ds.num_classes, model_order(&opts.model)?);
+    let info = extract(
+        &ds.graph,
+        ds.feat_dim,
+        16,
+        ds.num_classes,
+        model_order(&opts.model)?,
+    );
     let decided = model::decide(&info, &spec);
     let r = renumber(&ds.graph, &RenumberConfig::default()).map_err(|e| e.to_string())?;
 
@@ -193,7 +205,10 @@ pub fn run(opts: &CliOptions) -> CliResult {
         16,
         ds.num_classes,
         model_order(&opts.model)?,
-        AdvisorConfig { spec: spec.clone(), ..Default::default() },
+        AdvisorConfig {
+            spec: spec.clone(),
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     let engine = Engine::new(spec);
@@ -236,7 +251,10 @@ pub fn compare(opts: &CliOptions) -> CliResult {
         16,
         ds.num_classes,
         model_order(&opts.model)?,
-        AdvisorConfig { spec: spec.clone(), ..Default::default() },
+        AdvisorConfig {
+            spec: spec.clone(),
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     let engine = Engine::new(spec);
@@ -275,7 +293,13 @@ pub fn compare(opts: &CliOptions) -> CliResult {
 pub fn tune(opts: &CliOptions) -> CliResult {
     let ds = opts.load()?;
     let spec = opts.spec()?;
-    let info = extract(&ds.graph, ds.feat_dim, 16, ds.num_classes, model_order(&opts.model)?);
+    let info = extract(
+        &ds.graph,
+        ds.feat_dim,
+        16,
+        ds.num_classes,
+        model_order(&opts.model)?,
+    );
     let decided = model::decide(&info, &spec);
     let evolved = Estimator::new(info.clone(), spec.clone(), EstimatorConfig::default()).tune();
     Ok(format!(
@@ -386,8 +410,10 @@ mod tests {
     #[test]
     fn run_every_model() {
         for m in ["gcn", "gin", "sage", "gat"] {
-            let out = dispatch(&args(&format!("run --dataset Cora --scale 0.03 --model {m}")))
-                .unwrap_or_else(|e| panic!("{m}: {e}"));
+            let out = dispatch(&args(&format!(
+                "run --dataset Cora --scale 0.03 --model {m}"
+            )))
+            .unwrap_or_else(|e| panic!("{m}: {e}"));
             assert!(out.contains("simulated ms"), "{m}");
         }
     }
@@ -395,7 +421,14 @@ mod tests {
     #[test]
     fn compare_lists_all_frameworks() {
         let out = dispatch(&args("compare --dataset artist --scale 0.01")).expect("runs");
-        for fw in ["GNNAdvisor", "DGL", "PyG", "GunRock", "node-centric", "edge-centric"] {
+        for fw in [
+            "GNNAdvisor",
+            "DGL",
+            "PyG",
+            "GunRock",
+            "node-centric",
+            "edge-centric",
+        ] {
             assert!(out.contains(fw), "missing {fw} in:\n{out}");
         }
     }
@@ -409,10 +442,16 @@ mod tests {
 
     #[test]
     fn errors_are_friendly() {
-        assert!(dispatch(&args("run --dataset nope")).unwrap_err().contains("unknown dataset"));
-        assert!(dispatch(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(dispatch(&args("run --dataset nope"))
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(dispatch(&args("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(dispatch(&args("run")).unwrap_err().contains("--dataset"));
-        assert!(dispatch(&args("run --dataset Cora --gpu tpu")).unwrap_err().contains("unknown GPU"));
+        assert!(dispatch(&args("run --dataset Cora --gpu tpu"))
+            .unwrap_err()
+            .contains("unknown GPU"));
     }
 
     #[test]

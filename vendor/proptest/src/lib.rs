@@ -1,0 +1,390 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The `proptest!` macro expands each property into an ordinary `#[test]`
+//! that draws `Config::cases` random inputs from the argument strategies
+//! and runs the body on each. The per-test RNG is seeded from a hash of
+//! the test's module path and name, so failures reproduce exactly from run
+//! to run. Unlike upstream proptest there is no shrinking: a failing case
+//! panics with the ordinary assert message (inputs are printable via the
+//! `Debug` bounds the strategies already require upstream).
+
+pub mod test_runner {
+    //! Configuration and the deterministic per-test RNG.
+
+    /// Subset of proptest's `Config` that the workspace touches.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic test RNG (SplitMix64 seeded by test identity).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test's module path and name (FNV-1a).
+        pub fn for_test(module: &str, name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in module.bytes().chain([b':']).chain(name.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot sample from an empty choice set");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for random values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter behind [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (behind `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    (start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for collection strategies. The `From`
+    /// impls pin bare range literals like `0..200` to `usize`, matching
+    /// upstream proptest's inference behaviour.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec`s with random length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        length: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `length`.
+    pub fn vec<S: Strategy>(element: S, length: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            length: length.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.length.min + rng.below(self.length.max - self.length.min + 1);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import every test file uses.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Expands property functions into plain `#[test]`s over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner_rng =
+                $crate::test_runner::TestRng::for_test(module_path!(), stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut runner_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+/// Property assertion; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_identity() {
+        let mut a = TestRng::for_test("m", "t");
+        let mut b = TestRng::for_test("m", "t");
+        let mut c = TestRng::for_test("m", "other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn composite_strategies_generate_in_bounds() {
+        let mut rng = TestRng::for_test("m", "bounds");
+        let strat = crate::collection::vec((0u32..10, 5u64..=6), 2..5);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 10);
+                assert!(b == 5 || b == 6);
+            }
+        }
+        let mapped = (0usize..4).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert!(mapped.new_value(&mut rng) % 2 == 0);
+        }
+        let choice = prop_oneof![Just(1u32), Just(9)];
+        for _ in 0..50 {
+            let x = choice.new_value(&mut rng);
+            assert!(x == 1 || x == 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts pass, multiple properties
+        /// in one block expand.
+        #[test]
+        fn macro_expansion_binds_args(x in 0u64..100, ys in crate::collection::vec(0u8..4, 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y > 3).count(), 0);
+            prop_assert_ne!(x, 100);
+        }
+
+        #[test]
+        fn second_property_also_expands(x in 1usize..10) {
+            prop_assert!(x >= 1);
+        }
+    }
+}

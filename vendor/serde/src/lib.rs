@@ -1,0 +1,276 @@
+//! Offline stand-in for serde, JSON-emission only.
+//!
+//! The workspace only ever *serializes* (experiment results to pretty JSON
+//! via `serde_json::to_string_pretty`); nothing deserializes. This stub
+//! therefore models serialization as a single concrete capability — "write
+//! yourself into a [`json::Emitter`]" — and keeps `Deserialize` as a marker
+//! trait so existing `#[derive(Deserialize)]` attributes stay valid.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON representation to the emitter.
+    fn serialize_json(&self, e: &mut json::Emitter);
+}
+
+/// Marker trait kept so `#[derive(Deserialize)]` compiles; no input format
+/// is implemented (nothing in the workspace parses JSON back).
+pub trait Deserialize {}
+
+pub mod json {
+    //! The JSON writer behind [`crate::Serialize`].
+
+    /// An append-only JSON emitter with optional two-space pretty printing.
+    #[derive(Debug)]
+    pub struct Emitter {
+        out: String,
+        pretty: bool,
+        /// One entry per open container: `true` until its first item.
+        firsts: Vec<bool>,
+    }
+
+    impl Emitter {
+        /// Creates an emitter; `pretty` enables two-space indentation.
+        pub fn new(pretty: bool) -> Self {
+            Self {
+                out: String::new(),
+                pretty,
+                firsts: Vec::new(),
+            }
+        }
+
+        /// Returns the accumulated JSON text.
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        fn item_separator(&mut self) {
+            if let Some(first) = self.firsts.last_mut() {
+                if !*first {
+                    self.out.push(',');
+                }
+                *first = false;
+            }
+            if self.pretty {
+                self.out.push('\n');
+                for _ in 0..self.firsts.len() {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        fn close(&mut self, delim: char, was_empty: bool) {
+            if self.pretty && !was_empty {
+                self.out.push('\n');
+                for _ in 0..self.firsts.len() {
+                    self.out.push_str("  ");
+                }
+            }
+            self.out.push(delim);
+        }
+
+        /// Opens a JSON object.
+        pub fn begin_object(&mut self) {
+            self.out.push('{');
+            self.firsts.push(true);
+        }
+
+        /// Emits one `"key": value` member.
+        pub fn field<T: crate::Serialize + ?Sized>(&mut self, key: &str, value: &T) {
+            self.item_separator();
+            self.emit_str(key);
+            self.out.push(':');
+            if self.pretty {
+                self.out.push(' ');
+            }
+            value.serialize_json(self);
+        }
+
+        /// Closes the innermost object.
+        pub fn end_object(&mut self) {
+            let was_empty = self.firsts.pop().unwrap_or(true);
+            self.close('}', was_empty);
+        }
+
+        /// Opens a JSON array.
+        pub fn begin_array(&mut self) {
+            self.out.push('[');
+            self.firsts.push(true);
+        }
+
+        /// Emits one array element.
+        pub fn element<T: crate::Serialize + ?Sized>(&mut self, value: &T) {
+            self.item_separator();
+            value.serialize_json(self);
+        }
+
+        /// Closes the innermost array.
+        pub fn end_array(&mut self) {
+            let was_empty = self.firsts.pop().unwrap_or(true);
+            self.close(']', was_empty);
+        }
+
+        /// Emits an escaped JSON string.
+        pub fn emit_str(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+
+        /// Emits a pre-formatted JSON token (number, `true`, `null`, ...).
+        pub fn emit_raw(&mut self, token: &str) {
+            self.out.push_str(token);
+        }
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, e: &mut json::Emitter) {
+                e.emit_raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, e: &mut json::Emitter) {
+                if self.is_finite() {
+                    e.emit_raw(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/Inf; serde_json refuses, we emit null.
+                    e.emit_raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        e.emit_raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        e.emit_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        e.emit_str(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        (**self).serialize_json(e);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        match self {
+            Some(v) => v.serialize_json(e),
+            None => e.emit_raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        e.begin_array();
+        for item in self {
+            e.element(item);
+        }
+        e.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        self.as_slice().serialize_json(e);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, e: &mut json::Emitter) {
+        self.as_slice().serialize_json(e);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, e: &mut json::Emitter) {
+                e.begin_array();
+                $(e.element(&self.$idx);)+
+                e.end_array();
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: &T, pretty: bool) -> String {
+        let mut e = json::Emitter::new(pretty);
+        v.serialize_json(&mut e);
+        e.finish()
+    }
+
+    #[test]
+    fn scalars_render_as_json_tokens() {
+        assert_eq!(render(&3u32, false), "3");
+        assert_eq!(render(&-7i64, false), "-7");
+        assert_eq!(render(&true, false), "true");
+        assert_eq!(render(&1.5f64, false), "1.5");
+        assert_eq!(render(&f64::NAN, false), "null");
+        assert_eq!(render(&"a\"b", false), "\"a\\\"b\"");
+        assert_eq!(render(&Option::<u32>::None, false), "null");
+    }
+
+    #[test]
+    fn containers_nest_and_pretty_print() {
+        assert_eq!(render(&vec![1u32, 2, 3], false), "[1,2,3]");
+        assert_eq!(render(&Vec::<u32>::new(), true), "[]");
+        assert_eq!(render(&vec![1u32], true), "[\n  1\n]");
+        let mut e = json::Emitter::new(true);
+        e.begin_object();
+        e.field("x", &1u32);
+        e.field("ys", &vec![2u32]);
+        e.end_object();
+        assert_eq!(e.finish(), "{\n  \"x\": 1,\n  \"ys\": [\n    2\n  ]\n}");
+    }
+}

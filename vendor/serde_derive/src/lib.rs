@@ -1,0 +1,190 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The build environment has no registry access, so this crate re-implements
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the local
+//! `serde` stub without `syn`/`quote`: the item is hand-parsed from the raw
+//! `TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — the only ones this workspace uses:
+//! - structs with named fields (serialized as JSON objects), and
+//! - enums whose variants all carry no data (serialized as JSON strings).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Skips `#[...]` attribute pairs (including doc comments).
+fn skip_attributes(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        toks.next(); // the bracketed attribute body
+    }
+}
+
+/// Skips `pub` / `pub(crate)` style visibility.
+fn skip_visibility(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde stub derive: generic types are not supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde stub derive: tuple/unit structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde stub derive: expected a braced body"),
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_fields(body)),
+        "enum" => Kind::Enum(parse_enum_variants(body)),
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde stub derive: unsupported field syntax at {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to a top-level comma, tracking angle-bracket
+        // depth so `Vec<(u64, u64)>` style types don't split early.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde stub derive: unsupported variant syntax at {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                panic!("serde stub derive: enum variants with payloads are not supported")
+            }
+            Some(other) => panic!("serde stub derive: expected `,`, got {other:?}"),
+            None => break,
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut src = String::from("__e.begin_object();");
+            for f in fields {
+                src.push_str(&format!("__e.field(\"{f}\", &self.{f});"));
+            }
+            src.push_str("__e.end_object();");
+            src
+        }
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!("__e.emit_str(match self {{ {arms} }});")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn serialize_json(&self, __e: &mut ::serde::json::Emitter) {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde stub derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("serde stub derive: generated impl parses")
+}

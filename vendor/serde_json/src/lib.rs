@@ -1,0 +1,54 @@
+//! Offline stand-in for serde_json's output half: [`to_string`] and
+//! [`to_string_pretty`] over the local `serde` stub. No parser — nothing in
+//! the workspace reads JSON back.
+
+use std::fmt;
+
+/// Serialization error. The stub emitter is infallible, so this is never
+/// constructed; it exists to keep `serde_json::Result` signatures intact.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T>(value: &T) -> Result<String>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut e = serde::json::Emitter::new(false);
+    value.serialize_json(&mut e);
+    Ok(e.finish())
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T>(value: &T) -> Result<String>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut e = serde::json::Emitter::new(true);
+    value.serialize_json(&mut e);
+    Ok(e.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_and_compact_agree_modulo_whitespace() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let compact = super::to_string(&v).expect("infallible");
+        let pretty = super::to_string_pretty(&v).expect("infallible");
+        assert_eq!(compact, "[[1,2],[3]]");
+        let squeezed: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squeezed, compact);
+    }
+}
