@@ -3,7 +3,10 @@
 
 use gnnadvisor_bench::experiments::{fig08, fig09, fig10, fig11, fig12, fig13, table1, table2};
 use gnnadvisor_bench::report::write_json;
-use gnnadvisor_bench::ExperimentConfig;
+use gnnadvisor_bench::{
+    dump_trace, run_forward_traced, trace_dir_from_env, ExperimentConfig, ModelKind,
+};
+use gnnadvisor_core::Framework;
 
 fn main() {
     let cfg = ExperimentConfig::default();
@@ -51,5 +54,48 @@ fn main() {
     fig13::print(&f13);
     let _ = write_json("fig13", &f13);
 
+    dump_traces(&cfg);
+
     eprintln!("\nall experiments complete; JSON under target/experiments/");
+}
+
+/// With `GNNADVISOR_TRACE_DIR` set, re-runs one representative forward
+/// pass per model with the trace recorder attached and dumps the chrome
+/// traces there — diffable regression artifacts alongside the JSON
+/// results (timestamps are simulated cycles, so the bytes are stable).
+fn dump_traces(cfg: &ExperimentConfig) {
+    let Some(dir) = trace_dir_from_env() else {
+        return;
+    };
+    eprintln!("\ndumping chrome traces to {}", dir.display());
+    for (dataset, model) in [
+        ("Cora", ModelKind::Gcn),
+        ("Cora", ModelKind::Gin),
+        ("Pubmed", ModelKind::Sage),
+    ] {
+        let ds = match gnnadvisor_datasets::table1_by_name(dataset)
+            .expect("Table 1 dataset")
+            .generate(cfg.scale)
+        {
+            Ok(ds) => ds,
+            Err(e) => {
+                eprintln!("  {dataset}: generation failed: {e}");
+                continue;
+            }
+        };
+        let name = format!("{}_{}", model.name().to_lowercase(), dataset.to_lowercase());
+        match run_forward_traced(Framework::GnnAdvisor, model, &ds, cfg) {
+            Ok((metrics, tracer)) => match dump_trace(&tracer, &dir, &name) {
+                Ok(path) => eprintln!(
+                    "  {} ({} events, {}): {}",
+                    name,
+                    tracer.len(),
+                    metrics.phases.report(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("  {name}: {e}"),
+            },
+            Err(e) => eprintln!("  {name}: run failed: {e}"),
+        }
+    }
 }

@@ -26,4 +26,4 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{ExperimentConfig, ModelKind};
+pub use runner::{dump_trace, run_forward_traced, trace_dir_from_env, ExperimentConfig, ModelKind};

@@ -1,11 +1,13 @@
 //! Shared experiment plumbing: configuration, model dispatch, and
 //! framework execution.
 
+use std::sync::Arc;
+
 use gnnadvisor_core::input::AggOrder;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig, TuneStrategy};
 use gnnadvisor_core::{Framework, Result, RuntimeParams};
 use gnnadvisor_datasets::Dataset;
-use gnnadvisor_gpu::{Engine, GpuSpec, RunMetrics};
+use gnnadvisor_gpu::{Engine, GpuSpec, RunMetrics, TraceRecorder};
 use gnnadvisor_models::{Gcn, Gin, GraphSage, ModelExec};
 use gnnadvisor_tensor::init::random_features;
 
@@ -182,8 +184,54 @@ pub fn run_forward(
     advisor: Option<&Advisor>,
 ) -> Result<RunMetrics> {
     let engine = Engine::new(config.spec.clone());
+    forward_on(&engine, framework, model, ds, config, advisor)
+}
+
+/// Like [`run_forward`], but with a trace recorder attached to the engine:
+/// returns the metrics together with the recorder holding every span of
+/// the pass (kernels, shard chunks, hotspots, GEMMs). The advisor is built
+/// here, around the traced engine — GNNAdvisor-framework kernels launch on
+/// `advisor.engine()`, so an advisor built elsewhere would bypass tracing.
+/// Timestamps are simulated cycles: the recorder's chrome JSON is
+/// byte-identical run-to-run at any `GNNADVISOR_SIM_THREADS`.
+pub fn run_forward_traced(
+    framework: Framework,
+    model: ModelKind,
+    ds: &Dataset,
+    config: &ExperimentConfig,
+) -> Result<(RunMetrics, Arc<TraceRecorder>)> {
+    let tracer = Arc::new(TraceRecorder::new());
+    let engine = Engine::new(config.spec.clone()).with_tracer(Arc::clone(&tracer));
+    let advisor = if framework == Framework::GnnAdvisor {
+        Some(Advisor::new(
+            &ds.graph,
+            ds.feat_dim,
+            model.hidden_dim(),
+            ds.num_classes,
+            model.agg_order(),
+            AdvisorConfig {
+                spec: config.spec.clone(),
+                engine: Some(engine.clone()),
+                ..Default::default()
+            },
+        )?)
+    } else {
+        None
+    };
+    let metrics = forward_on(&engine, framework, model, ds, config, advisor.as_ref())?;
+    Ok((metrics, tracer))
+}
+
+fn forward_on(
+    engine: &Engine,
+    framework: Framework,
+    model: ModelKind,
+    ds: &Dataset,
+    config: &ExperimentConfig,
+    advisor: Option<&Advisor>,
+) -> Result<RunMetrics> {
     let features = random_features(ds.graph.num_nodes(), ds.feat_dim, config.seed);
-    let exec = ModelExec::new(&engine, &ds.graph, framework, advisor);
+    let exec = ModelExec::new(engine, &ds.graph, framework, advisor);
     let metrics = match model {
         ModelKind::Gcn => {
             Gcn::paper_default(ds.feat_dim, ds.num_classes, config.seed)
@@ -202,6 +250,26 @@ pub fn run_forward(
         }
     };
     Ok(metrics)
+}
+
+/// Reads `GNNADVISOR_TRACE_DIR`: when set, experiment drivers dump one
+/// chrome trace per traced run into that directory (created on demand).
+pub fn trace_dir_from_env() -> Option<std::path::PathBuf> {
+    std::env::var_os("GNNADVISOR_TRACE_DIR").map(std::path::PathBuf::from)
+}
+
+/// Writes `tracer`'s chrome://tracing JSON to `<dir>/<name>.trace.json`.
+/// Returns the written path, or an IO error message.
+pub fn dump_trace(
+    tracer: &TraceRecorder,
+    dir: &std::path::Path,
+    name: &str,
+) -> std::result::Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, tracer.to_chrome_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 #[cfg(test)]

@@ -96,7 +96,9 @@ pub fn aggregate_with(
             // (degree-norm coefficients, message transform, reduce,
             // epilogue), each its own kernel launch; GNNAdvisor fuses the
             // whole phase into one.
-            spmm.elapsed_cycles += engine.spec().kernel_launch_cycles * (DGL_OPS_PER_LAYER - 2);
+            let extra = engine.spec().kernel_launch_cycles * (DGL_OPS_PER_LAYER - 2);
+            spmm.elapsed_cycles += extra;
+            spmm.phases.launch_cycles += extra;
             spmm.time_ms = engine.spec().cycles_to_ms(spmm.elapsed_cycles);
             run.push_kernel(spmm);
         }
@@ -112,6 +114,7 @@ pub fn aggregate_with(
                 engine.spec().kernel_launch_cycles * (dim as u64 * LAUNCHES_PER_ADVANCE as u64 - 1);
             let mut m = metrics;
             m.elapsed_cycles += extra;
+            m.phases.launch_cycles += extra;
             m.time_ms = engine.spec().cycles_to_ms(m.elapsed_cycles);
             run.push_kernel(m);
         }

@@ -7,6 +7,9 @@
 //! [`Advisor::aggregate`] launches the aggregation kernel for any embedding
 //! dimensionality and [`Advisor::update`] prices the dense update.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
 use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::{Csr, Permutation};
@@ -87,6 +90,18 @@ impl Default for AdvisorConfig {
 /// let metrics = advisor.aggregate(16).unwrap();
 /// assert!(metrics.time_ms > 0.0);
 /// ```
+/// The launch shape `aggregate` actually uses for one embedding
+/// dimensionality: the (possibly narrowed) runtime parameters plus the
+/// shared layout rebuilt for them, or `None` when the kernel falls back
+/// to direct atomic accumulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedLaunch {
+    /// Parameters of the launch, after any block narrowing.
+    pub params: RuntimeParams,
+    /// The shared layout staged by the launch (`None` = atomic fallback).
+    pub layout: Option<SharedLayout>,
+}
+
 pub struct Advisor {
     engine: Engine,
     graph: Csr,
@@ -95,6 +110,7 @@ pub struct Advisor {
     input: InputInfo,
     groups: Vec<NeighborGroup>,
     layout: SharedLayout,
+    resolved: Mutex<BTreeMap<usize, Arc<ResolvedLaunch>>>,
 }
 
 impl Advisor {
@@ -145,6 +161,7 @@ impl Advisor {
             input,
             groups,
             layout,
+            resolved: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -159,15 +176,47 @@ impl Advisor {
     /// 32-thread block cannot host one row does the kernel fall back to
     /// direct atomic accumulation.
     pub fn aggregate(&self, dim: usize) -> Result<KernelMetrics> {
+        let resolved = self.resolved_launch(dim);
+        let kernel = AdvisorKernel::new(
+            &self.graph,
+            &self.groups,
+            resolved.layout.as_ref(),
+            dim,
+            resolved.params,
+        );
+        Ok(self.engine.run(&kernel)?)
+    }
+
+    /// The launch shape `aggregate(dim)` actually uses, with the narrowing
+    /// loop's outcome cached per dimensionality: repeated `aggregate`
+    /// calls reuse the resolved shape instead of re-running Algorithm 1,
+    /// and callers can inspect the parameters and layout that were really
+    /// launched (which [`Advisor::params`]/[`Advisor::layout`] — the
+    /// *tuned* shape — need not match after a reshape).
+    pub fn resolved_launch(&self, dim: usize) -> Arc<ResolvedLaunch> {
+        let mut cache = self
+            .resolved
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(hit) = cache.get(&dim) {
+            return Arc::clone(hit);
+        }
+        let launch = Arc::new(self.resolve_launch(dim));
+        cache.insert(dim, Arc::clone(&launch));
+        launch
+    }
+
+    fn resolve_launch(&self, dim: usize) -> ResolvedLaunch {
         let capacity = self.engine.spec().shared_mem_per_block;
         if self.params.use_shared {
             let mut params = self.params;
             loop {
                 let layout = organize_shared(&self.groups, params.groups_per_block());
                 if layout.shared_bytes(dim) <= capacity {
-                    let kernel =
-                        AdvisorKernel::new(&self.graph, &self.groups, Some(&layout), dim, params);
-                    return Ok(self.engine.run(&kernel)?);
+                    return ResolvedLaunch {
+                        params,
+                        layout: Some(layout),
+                    };
                 }
                 let next = params.threads_per_block / 2;
                 // Below 128 threads the extra block-dispatch overhead of
@@ -179,8 +228,10 @@ impl Advisor {
                 params.threads_per_block = next;
             }
         }
-        let kernel = AdvisorKernel::new(&self.graph, &self.groups, None, dim, self.params);
-        Ok(self.engine.run(&kernel)?)
+        ResolvedLaunch {
+            params: self.params,
+            layout: None,
+        }
     }
 
     /// Prices the dense update `rows x in_dim · in_dim x out_dim`.
@@ -410,6 +461,60 @@ mod tests {
             ..Default::default()
         };
         assert!(Advisor::new(&g, 96, 16, 10, AggOrder::UpdateThenAggregate, cfg).is_err());
+    }
+
+    #[test]
+    fn resolved_launch_reports_the_actually_used_shape() {
+        let g = graph();
+        let adv = Advisor::new(
+            &g,
+            96,
+            16,
+            10,
+            AggOrder::UpdateThenAggregate,
+            AdvisorConfig::default(),
+        )
+        .expect("builds");
+        let capacity = adv.engine().spec().shared_mem_per_block;
+        let mut narrowed_somewhere = false;
+        for dim in [16usize, 64, 256, 512, 1024, 2048, 8192] {
+            let resolved = adv.resolved_launch(dim);
+            match &resolved.layout {
+                Some(layout) => {
+                    // The reported layout must be the one the launch
+                    // really uses: built for the (possibly narrowed)
+                    // params and within the device's shared budget.
+                    assert!(layout.shared_bytes(dim) <= capacity, "dim {dim}");
+                    assert_eq!(
+                        layout,
+                        &organize_shared(adv.groups(), resolved.params.groups_per_block()),
+                        "dim {dim}: cached layout drifted from its params"
+                    );
+                    if resolved.params.threads_per_block < adv.params().threads_per_block {
+                        narrowed_somewhere = true;
+                    }
+                }
+                None => {
+                    // Fallback: the un-narrowed tuned params are used.
+                    assert_eq!(&resolved.params, adv.params(), "dim {dim}");
+                }
+            }
+            // Repeated calls hit the cache (same Arc) and price the same.
+            assert!(
+                Arc::ptr_eq(&resolved, &adv.resolved_launch(dim)),
+                "dim {dim}: resolution must be cached"
+            );
+            assert_eq!(
+                adv.aggregate(dim).expect("runs"),
+                adv.aggregate(dim).expect("runs"),
+                "dim {dim}"
+            );
+        }
+        assert!(
+            narrowed_somewhere,
+            "at least one dim must exercise the narrowing loop \
+             (otherwise this test lost its subject)"
+        );
     }
 
     #[test]

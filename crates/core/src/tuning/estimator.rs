@@ -14,7 +14,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gnnadvisor_gpu::{Engine, GpuSpec};
+use gnnadvisor_gpu::{Engine, GpuSpec, PhaseBreakdown};
 
 use crate::input::InputInfo;
 use crate::tuning::model;
@@ -88,6 +88,33 @@ impl Estimator {
         self.tune_with(|p| latency(p, &engine))
     }
 
+    /// Profile-guided search scored on the phase-attributed breakdown
+    /// instead of raw latency. The closure runs the candidate and returns
+    /// its [`PhaseBreakdown`]; candidates are ranked by
+    /// [`Estimator::breakdown_fitness`], which penalizes
+    /// serialization-prone phases (atomic stalls, launch overhead) above
+    /// streaming ones — those are the terms that scale worst as graphs
+    /// grow, so the search prefers configurations whose cycles are spent
+    /// in parallel-friendly compute and DRAM streaming.
+    pub fn tune_profiled_breakdown(
+        &self,
+        mut run: impl FnMut(&RuntimeParams, &Engine) -> PhaseBreakdown,
+    ) -> RuntimeParams {
+        self.tune_profiled(|p, e| Self::breakdown_fitness(&run(p, e)))
+    }
+
+    /// Phase-aware fitness (lower is better): simulated cycles weighted by
+    /// how poorly each phase scales. Compute and DRAM streaming count at
+    /// face value; atomic serialization counts double (it grows with
+    /// contention, not input size); launch overhead counts 4× (it is pure
+    /// fixed cost that more blocks cannot amortize).
+    pub fn breakdown_fitness(phases: &PhaseBreakdown) -> f64 {
+        phases.compute_cycles as f64
+            + phases.dram_cycles as f64
+            + 2.0 * phases.atomic_cycles as f64
+            + 4.0 * phases.launch_cycles as f64
+    }
+
     /// Runs the search with a caller-provided latency function (lower is
     /// better), e.g. an actual simulated kernel launch.
     pub fn tune_with(&self, mut latency: impl FnMut(&RuntimeParams) -> f64) -> RuntimeParams {
@@ -116,12 +143,19 @@ impl Estimator {
                 best_score = scored[0].0;
                 best = scored[0].1;
             }
-            // Survivors + crossover offspring.
-            let survivors: Vec<RuntimeParams> = scored
+            // Survivors + crossover offspring. Infeasible candidates carry
+            // an INFINITY score and must not breed: when feasibility
+            // starves the pool, reseed with fresh random draws instead of
+            // recycling candidates the device cannot even launch.
+            let mut survivors: Vec<RuntimeParams> = scored
                 .iter()
+                .filter(|(s, _)| s.is_finite())
                 .take(self.config.survivors.max(2))
                 .map(|&(_, p)| p)
                 .collect();
+            while survivors.len() < 2 {
+                survivors.push(self.random_candidate(&mut rng));
+            }
             population.clear();
             population.extend_from_slice(&survivors);
             while population.len() < self.config.population {
@@ -248,6 +282,73 @@ mod tests {
         let b =
             est.tune_profiled(|p, e| e.run_gemm(1_000, p.threads_per_block as usize, 16).time_ms);
         assert_eq!(a, b, "profiled search is deterministic given the seed");
+    }
+
+    #[test]
+    fn feasibility_starved_search_still_converges() {
+        // A fitness needle: only tpb == 64 scores finite, everything else
+        // is INFINITY (as if the device rejected every other launch). At
+        // seed 3 the 4-candidate generation 0 contains no tpb == 64 draw,
+        // and mutation is disabled — so when INFINITY scorers were
+        // admitted to the survivor pool (the old behaviour), the gene
+        // pool froze on infeasible parents and the search could provably
+        // never reach the needle, falling back to the analytical
+        // decision. The survivor filter + random reseeding keeps
+        // exploring fresh draws each generation and must find it.
+        let cfg = EstimatorConfig {
+            population: 4,
+            iterations: 15,
+            survivors: 2,
+            mutation_rate: 0.0,
+            seed: 3,
+        };
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        // The analytical fallback would pick a different tpb, so reaching
+        // the needle proves the evolutionary loop itself recovered.
+        assert_ne!(model::decide(&inp, &spec).threads_per_block, 64);
+        let est = Estimator::new(inp, spec, cfg);
+        let p = est.tune_with(|p| {
+            if p.threads_per_block == 64 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        });
+        assert_eq!(p.threads_per_block, 64);
+    }
+
+    #[test]
+    fn breakdown_fitness_prefers_parallel_friendly_cycles() {
+        let streaming = PhaseBreakdown {
+            compute_cycles: 500,
+            dram_cycles: 500,
+            atomic_cycles: 0,
+            launch_cycles: 0,
+        };
+        let serialized = PhaseBreakdown {
+            compute_cycles: 0,
+            dram_cycles: 0,
+            atomic_cycles: 500,
+            launch_cycles: 500,
+        };
+        assert_eq!(streaming.total_cycles(), serialized.total_cycles());
+        assert!(
+            Estimator::breakdown_fitness(&streaming) < Estimator::breakdown_fitness(&serialized),
+            "equal cycle counts must rank by how they serialize"
+        );
+
+        // End-to-end: the breakdown-aware profiled search is deterministic
+        // and returns feasible parameters.
+        let est = Estimator::new(input(), GpuSpec::quadro_p6000(), EstimatorConfig::default());
+        let a = est.tune_profiled_breakdown(|p, e| {
+            e.run_gemm(1_000, p.threads_per_block as usize, 16).phases
+        });
+        a.validate().expect("feasible");
+        let b = est.tune_profiled_breakdown(|p, e| {
+            e.run_gemm(1_000, p.threads_per_block as usize, 16).phases
+        });
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -44,10 +44,38 @@ use std::sync::{Arc, Mutex};
 
 use crate::context::{plan_shards, RunContext, ShardSlot};
 use crate::kernel::{BlockSink, GridConfig, Kernel, WARP_SIZE};
-use crate::metrics::KernelMetrics;
+use crate::metrics::{KernelMetrics, PhaseBreakdown};
 use crate::spec::GpuSpec;
+use crate::trace::{HotBlock, ShardTrace, TraceRecorder, HOTSPOTS_PER_KERNEL};
 use crate::transfer::{transfer, TransferMetrics};
 use crate::Result;
+
+/// Hard ceiling on configured simulation workers — far above any host's
+/// core count, so anything bigger is a typo, not a configuration.
+pub const MAX_SIM_THREADS: usize = 4096;
+
+/// Parses a `GNNADVISOR_SIM_THREADS` value: `0` (or an empty/whitespace
+/// string) means one worker per available core. Rejects anything that is
+/// not a small non-negative integer with a pointed message — a garbage
+/// value silently falling back to all cores would hide the typo (matching
+/// the `GNNADVISOR_SCALE` guard in the bench runner).
+pub fn parse_sim_threads(raw: &str) -> core::result::Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(0);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n <= MAX_SIM_THREADS => Ok(n),
+        Ok(n) => Err(format!(
+            "GNNADVISOR_SIM_THREADS={n} exceeds the {MAX_SIM_THREADS}-worker \
+             ceiling; use 0 for one worker per core"
+        )),
+        Err(_) => Err(format!(
+            "GNNADVISOR_SIM_THREADS must be a non-negative integer \
+             (0 = one worker per core), got {raw:?}; unset it to use all cores"
+        )),
+    }
+}
 
 /// A simulated GPU ready to run kernels.
 ///
@@ -74,22 +102,47 @@ pub struct Engine {
     /// Worker threads for the sharded block loop; `0` = one per core.
     sim_threads: usize,
     ctx: Arc<Mutex<RunContext>>,
+    /// Opt-in span recorder; `None` keeps the hot path untouched.
+    tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl Engine {
     /// Creates an engine for the given device. The worker count defaults to
-    /// the `GNNADVISOR_SIM_THREADS` environment variable (`0` or unset /
-    /// unparsable = one worker per available core).
+    /// the `GNNADVISOR_SIM_THREADS` environment variable (`0` or unset =
+    /// one worker per available core).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `GNNADVISOR_SIM_THREADS` is set to something that is
+    /// not a non-negative integer at most [`MAX_SIM_THREADS`] — see
+    /// [`parse_sim_threads`].
     pub fn new(spec: GpuSpec) -> Self {
-        let sim_threads = std::env::var("GNNADVISOR_SIM_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
+        let sim_threads = match std::env::var("GNNADVISOR_SIM_THREADS") {
+            Err(std::env::VarError::NotPresent) => 0,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("GNNADVISOR_SIM_THREADS is not valid unicode; unset it to use all cores")
+            }
+            Ok(raw) => parse_sim_threads(&raw).unwrap_or_else(|msg| panic!("{msg}")),
+        };
         Self {
             spec,
             sim_threads,
             ctx: Arc::new(Mutex::new(RunContext::new())),
+            tracer: None,
         }
+    }
+
+    /// Attaches a span recorder; every subsequent launch, GEMM, and
+    /// transfer is recorded on the simulated clock. Clones of the engine
+    /// share the recorder (like they share the run context).
+    pub fn with_tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached span recorder, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// Overrides the simulation worker count (`0` = one per core). Results
@@ -202,8 +255,45 @@ impl Engine {
         let mut useful_total = 0u64;
         let mut busy_issue_total = 0u64;
         let mut serialized_atomics_total = 0u64;
-        for slot in &mut shards[..plan.num_shards] {
+        // Per-shard spans and launch-wide hotspot blocks, gathered only
+        // when tracing: both derive from per-shard state that is already
+        // worker-count-invariant, so traced timelines are too.
+        let tracing = self.tracer.is_some();
+        let mut shard_traces: Vec<ShardTrace> = Vec::new();
+        let mut hot_blocks: Vec<HotBlock> = Vec::new();
+        for (shard_idx, slot) in shards[..plan.num_shards].iter_mut().enumerate() {
             let slot = slot.get_mut().unwrap_or_else(|p| p.into_inner());
+            if tracing {
+                let range = plan.range(shard_idx, grid.num_blocks);
+                shard_traces.push(ShardTrace {
+                    first_block: range.start,
+                    num_blocks: range.len(),
+                    cycles: slot.block_cycles.iter().sum(),
+                    l2_hits: slot.totals.l2_hits,
+                    l2_misses: slot.totals.l2_misses,
+                    dram_bytes: slot.totals.dram_read_bytes + slot.totals.dram_write_bytes,
+                });
+                // Top-K most expensive blocks across the launch, ordered
+                // by cycles descending then block id — the deterministic
+                // warp-imbalance hotspot list.
+                let mut offset = 0u64;
+                for (i, &cycles) in slot.block_cycles.iter().enumerate() {
+                    let candidate = HotBlock {
+                        block_id: range.start + i,
+                        shard: shard_idx,
+                        offset_cycles: offset,
+                        cycles,
+                    };
+                    offset += cycles;
+                    let pos = hot_blocks.partition_point(|h| {
+                        h.cycles > cycles || (h.cycles == cycles && h.block_id < candidate.block_id)
+                    });
+                    if pos < HOTSPOTS_PER_KERNEL {
+                        hot_blocks.insert(pos, candidate);
+                        hot_blocks.truncate(HOTSPOTS_PER_KERNEL);
+                    }
+                }
+            }
             totals.dram_read_bytes += slot.totals.dram_read_bytes;
             totals.dram_write_bytes += slot.totals.dram_write_bytes;
             totals.l2_hits += slot.totals.l2_hits;
@@ -254,6 +344,19 @@ impl Engine {
         totals.elapsed_cycles = elapsed;
         totals.time_ms = self.spec.cycles_to_ms(elapsed);
 
+        // Exact phase partition of the elapsed cycles: DRAM bandwidth
+        // demand claims the body first, the atomic serial chain claims
+        // what bandwidth cannot explain, and per-SM work absorbs the
+        // rest. compute + dram + atomic + launch == elapsed, always.
+        let dram_phase = device_bw_bound.min(body);
+        let atomic_phase = atomic_bound.min(body - dram_phase);
+        totals.phases = PhaseBreakdown {
+            compute_cycles: body - dram_phase - atomic_phase,
+            dram_cycles: dram_phase,
+            atomic_cycles: atomic_phase,
+            launch_cycles: elapsed - body,
+        };
+
         // SM efficiency = issue-feed ratio x lane utilization: how much of
         // the device's total SM-time is spent issuing (busy / schedulers
         // over elapsed x SMs — intra-block critical-warp slack and cross-SM
@@ -271,6 +374,10 @@ impl Engine {
             (useful_total as f64 / (busy_issue_total as f64 * WARP_SIZE as f64)).min(1.0)
         };
         totals.sm_efficiency = (feed_eff.min(1.0) * warp_eff).clamp(0.0, 1.0);
+
+        if let Some(tracer) = &self.tracer {
+            tracer.record_kernel(&totals, &self.spec, &shard_traces, &hot_blocks);
+        }
 
         Ok(totals)
     }
@@ -346,8 +453,10 @@ impl Engine {
             (flops as f64 / (self.spec.flops_per_cycle() * self.spec.gemm_efficiency)) as u64;
         let bytes = 4 * (m * k + k * n + m * n) as u64;
         let bw_cycles = (bytes as f64 / self.spec.dram_bytes_per_cycle()) as u64;
-        let elapsed = compute_cycles.max(bw_cycles) + self.spec.kernel_launch_cycles;
-        KernelMetrics {
+        let body = compute_cycles.max(bw_cycles);
+        let elapsed = body + self.spec.kernel_launch_cycles;
+        let dram_phase = bw_cycles.min(body);
+        let metrics = KernelMetrics {
             name: format!("gemm_{m}x{k}x{n}"),
             elapsed_cycles: elapsed,
             time_ms: self.spec.cycles_to_ms(elapsed),
@@ -365,13 +474,27 @@ impl Engine {
             } else {
                 crate::metrics::Limiter::DeviceBandwidth
             },
+            phases: PhaseBreakdown {
+                compute_cycles: body - dram_phase,
+                dram_cycles: dram_phase,
+                atomic_cycles: 0,
+                launch_cycles: self.spec.kernel_launch_cycles,
+            },
             ..Default::default()
+        };
+        if let Some(tracer) = &self.tracer {
+            tracer.record_gemm(&metrics);
         }
+        metrics
     }
 
     /// Prices a host→device or device→host copy.
     pub fn run_transfer(&self, bytes: u64) -> TransferMetrics {
-        transfer(&self.spec, bytes)
+        let metrics = transfer(&self.spec, bytes);
+        if let Some(tracer) = &self.tracer {
+            tracer.record_transfer(&metrics, &self.spec);
+        }
+        metrics
     }
 }
 
@@ -530,6 +653,112 @@ mod tests {
                 .unwrap();
             assert_eq!(m, serial, "thread count {threads} changed the result");
         }
+    }
+
+    #[test]
+    fn sim_threads_env_values_are_guarded() {
+        assert_eq!(parse_sim_threads("0"), Ok(0));
+        assert_eq!(parse_sim_threads(" 8 "), Ok(8));
+        assert_eq!(parse_sim_threads(""), Ok(0));
+        assert_eq!(parse_sim_threads("4096"), Ok(MAX_SIM_THREADS));
+        for garbage in ["banana", "-1", "3.5", "0x4", ""] {
+            if garbage.is_empty() {
+                continue;
+            }
+            let err = parse_sim_threads(garbage).expect_err(garbage);
+            assert!(err.contains("non-negative integer"), "{err}");
+            assert!(err.contains(garbage), "error must echo the value: {err}");
+        }
+        let err = parse_sim_threads("1000000").expect_err("oversized");
+        assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn phases_partition_elapsed_exactly() {
+        // Every limiter regime: compute-bound, bandwidth-bound,
+        // atomic-bound, launch-bound, plus the GEMM path — in each, the
+        // four phases must sum to the kernel's elapsed cycles.
+        let e = engine();
+        let runs = [
+            e.run(&Uniform {
+                blocks: 64,
+                warps: 4,
+                cycles: 50_000,
+                bytes: 64,
+            })
+            .unwrap(),
+            e.run(&Uniform {
+                blocks: 64,
+                warps: 1,
+                cycles: 1,
+                bytes: 1 << 20,
+            })
+            .unwrap(),
+            e.run(&HotAtomic {
+                blocks: 64,
+                per_block: 10_000,
+            })
+            .unwrap(),
+            e.run(&Uniform {
+                blocks: 1,
+                warps: 1,
+                cycles: 1,
+                bytes: 0,
+            })
+            .unwrap(),
+            e.run_gemm(512, 64, 128),
+        ];
+        for m in &runs {
+            assert_eq!(
+                m.phases.total_cycles(),
+                m.elapsed_cycles,
+                "{}: {:?} vs elapsed {}",
+                m.name,
+                m.phases,
+                m.elapsed_cycles
+            );
+        }
+        // And the dominant phase matches the limiter classification.
+        assert!(runs[0].phases.compute_cycles > runs[0].phases.dram_cycles);
+        assert!(runs[1].phases.dram_cycles > runs[1].phases.compute_cycles);
+        assert!(runs[2].phases.atomic_cycles > 0);
+        assert_eq!(runs[3].phases.launch_cycles, e.spec().kernel_launch_cycles);
+    }
+
+    #[test]
+    fn traces_are_byte_identical_across_thread_counts() {
+        let spec = GpuSpec::quadro_p6000();
+        let trace_of = |threads: usize| {
+            let tracer = std::sync::Arc::new(crate::trace::TraceRecorder::new());
+            let e = Engine::new(spec.clone())
+                .with_sim_threads(threads)
+                .with_tracer(std::sync::Arc::clone(&tracer));
+            e.run(&Windowed { blocks: 320 }).unwrap();
+            e.run_gemm(256, 32, 64);
+            e.run_transfer(1 << 20);
+            (tracer.to_chrome_json(), tracer.flame_report())
+        };
+        let serial = trace_of(1);
+        assert!(serial.0.contains("\"traceEvents\""));
+        for threads in [2, 4, 8, 0] {
+            assert_eq!(trace_of(threads), serial, "threads {threads}");
+        }
+        // Run-to-run stability at a fixed thread count too.
+        assert_eq!(trace_of(4), trace_of(4));
+    }
+
+    #[test]
+    fn untraced_engine_records_nothing() {
+        let e = engine();
+        assert!(e.tracer().is_none());
+        let m = e.run(&Windowed { blocks: 32 }).unwrap();
+        // Tracing off must not change metrics vs a traced engine.
+        let tracer = std::sync::Arc::new(crate::trace::TraceRecorder::new());
+        let traced =
+            Engine::new(GpuSpec::quadro_p6000()).with_tracer(std::sync::Arc::clone(&tracer));
+        let mt = traced.run(&Windowed { blocks: 32 }).unwrap();
+        assert_eq!(m, mt, "tracing must be observation-only");
+        assert!(!tracer.is_empty());
     }
 
     #[test]

@@ -29,14 +29,16 @@ pub mod engine;
 pub mod kernel;
 pub mod metrics;
 pub mod spec;
+pub mod trace;
 pub mod transfer;
 
 pub use context::RunContext;
 pub use device_memory::DeviceMemory;
-pub use engine::Engine;
+pub use engine::{parse_sim_threads, Engine, MAX_SIM_THREADS};
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
-pub use metrics::{KernelMetrics, Limiter, RunMetrics};
+pub use metrics::{KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
 pub use spec::GpuSpec;
+pub use trace::{ArgValue, SpanKind, TraceEvent, TraceRecorder};
 pub use transfer::TransferMetrics;
 
 /// Errors produced when a kernel's launch configuration violates the

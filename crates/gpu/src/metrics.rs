@@ -2,6 +2,72 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Phase-attributed cycle breakdown of a launch (or a whole run): where
+/// the elapsed simulated cycles went. Attribution is hierarchical and
+/// exact — `compute + dram + atomic + launch == elapsed` always — so the
+/// breakdown is a partition, not an overlap report: DRAM-bandwidth cycles
+/// are attributed first (they bound the body from below), the atomic
+/// serial chain claims what bandwidth cannot explain, and per-SM work
+/// (issue, latency, imbalance tails) absorbs the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Cycles attributed to per-SM work: compute issue, exposed memory
+    /// latency, and cross-SM tail imbalance.
+    pub compute_cycles: u64,
+    /// Cycles attributed to aggregate DRAM bandwidth demand.
+    pub dram_cycles: u64,
+    /// Cycles attributed to serialization on atomic hotspots.
+    pub atomic_cycles: u64,
+    /// Fixed kernel-launch overhead cycles.
+    pub launch_cycles: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total cycles across all phases; equals the launch's
+    /// `elapsed_cycles` (and, when accumulated over a run, the sum of the
+    /// run's kernel `elapsed_cycles`).
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.dram_cycles + self.atomic_cycles + self.launch_cycles
+    }
+
+    /// Folds another breakdown into this one.
+    pub fn add(&mut self, other: &PhaseBreakdown) {
+        self.compute_cycles += other.compute_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.atomic_cycles += other.atomic_cycles;
+        self.launch_cycles += other.launch_cycles;
+    }
+
+    /// Fraction of total cycles in each phase, ordered
+    /// `[compute, dram, atomic, launch]`; all zeros for an empty breakdown.
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total_cycles();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.compute_cycles as f64 / t,
+            self.dram_cycles as f64 / t,
+            self.atomic_cycles as f64 / t,
+            self.launch_cycles as f64 / t,
+        ]
+    }
+
+    /// One-line percentage report, e.g.
+    /// `compute 61.2% | dram 28.4% | atomics 8.1% | launch 2.3%`.
+    pub fn report(&self) -> String {
+        let [c, d, a, l] = self.fractions();
+        format!(
+            "compute {:.1}% | dram {:.1}% | atomics {:.1}% | launch {:.1}%",
+            c * 100.0,
+            d * 100.0,
+            a * 100.0,
+            l * 100.0
+        )
+    }
+}
+
 /// Metrics of a single kernel launch, mirroring the NVProf counters the
 /// paper reports (Section 8.1.4, Figure 9, Figure 12).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -34,6 +100,8 @@ pub struct KernelMetrics {
     pub sm_efficiency: f64,
     /// Which resource bound the kernel's elapsed time (roofline verdict).
     pub limiter: Limiter,
+    /// Exact phase attribution of `elapsed_cycles` (sums to it).
+    pub phases: PhaseBreakdown,
 }
 
 /// The resource that determined a kernel's elapsed time.
@@ -92,6 +160,9 @@ pub struct RunMetrics {
     pub kernels: Vec<KernelMetrics>,
     /// Total bytes moved over PCIe.
     pub transfer_bytes: u64,
+    /// Phase-attributed cycle totals accumulated over every kernel; sums
+    /// to the run's total kernel `elapsed_cycles`.
+    pub phases: PhaseBreakdown,
 }
 
 impl RunMetrics {
@@ -103,6 +174,7 @@ impl RunMetrics {
     /// Folds a kernel's metrics into the run.
     pub fn push_kernel(&mut self, k: KernelMetrics) {
         self.compute_ms += k.time_ms;
+        self.phases.add(&k.phases);
         self.kernels.push(k);
     }
 
@@ -117,7 +189,13 @@ impl RunMetrics {
         self.compute_ms += other.compute_ms;
         self.transfer_ms += other.transfer_ms;
         self.transfer_bytes += other.transfer_bytes;
+        self.phases.add(&other.phases);
         self.kernels.extend(other.kernels);
+    }
+
+    /// Total elapsed kernel cycles across the run.
+    pub fn total_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.elapsed_cycles).sum()
     }
 
     /// Total DRAM traffic across all kernels, bytes.
@@ -202,6 +280,51 @@ mod tests {
         a.merge(b);
         assert_eq!(a.kernels.len(), 2);
         assert!((a.compute_ms - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdown_partitions_and_accumulates() {
+        let phases = PhaseBreakdown {
+            compute_cycles: 600,
+            dram_cycles: 250,
+            atomic_cycles: 100,
+            launch_cycles: 50,
+        };
+        assert_eq!(phases.total_cycles(), 1000);
+        let [c, d, a, l] = phases.fractions();
+        assert!((c - 0.6).abs() < 1e-12 && (d - 0.25).abs() < 1e-12);
+        assert!((a - 0.1).abs() < 1e-12 && (l - 0.05).abs() < 1e-12);
+        assert!(phases.report().contains("compute 60.0%"));
+
+        let mut run = RunMetrics::default();
+        let mut k1 = kernel(1.0, 0, 0);
+        k1.phases = phases;
+        let mut k2 = kernel(2.0, 0, 0);
+        k2.phases = PhaseBreakdown {
+            compute_cycles: 10,
+            dram_cycles: 20,
+            atomic_cycles: 30,
+            launch_cycles: 40,
+        };
+        run.push_kernel(k1);
+        run.push_kernel(k2);
+        assert_eq!(run.phases.total_cycles(), 1100);
+        assert_eq!(run.phases.compute_cycles, 610);
+
+        let mut other = RunMetrics::default();
+        let mut k3 = kernel(1.0, 0, 0);
+        k3.phases.launch_cycles = 9;
+        other.push_kernel(k3);
+        run.merge(other);
+        assert_eq!(run.phases.launch_cycles, 99);
+        assert_eq!(run.kernels.len(), 3);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let phases = PhaseBreakdown::default();
+        assert_eq!(phases.total_cycles(), 0);
+        assert_eq!(phases.fractions(), [0.0; 4]);
     }
 
     #[test]

@@ -10,7 +10,29 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --examples"
+cargo build --offline --workspace --examples
+
 echo "==> cargo test -q"
 cargo test --offline --workspace -q
+
+echo "==> profile smoke: trace bytes stable across runs and worker counts"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+profile() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    profile --dataset Cora --scale 0.03 --trace-out "$1" >/dev/null
+}
+profile "$trace_dir/a.json"
+profile "$trace_dir/b.json"
+GNNADVISOR_SIM_THREADS=4 profile "$trace_dir/t4.json"
+cmp "$trace_dir/a.json" "$trace_dir/b.json" || {
+  echo "FAIL: profile trace differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/a.json" "$trace_dir/t4.json" || {
+  echo "FAIL: profile trace depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
 
 echo "CI green."

@@ -5,13 +5,15 @@
 //! engine. Every command returns its report as a `String` so the logic is
 //! unit-testable; the binary just prints it.
 
+use std::sync::Arc;
+
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
 use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_core::tuning::model;
 use gnnadvisor_datasets::{table1_by_name, Dataset};
-use gnnadvisor_gpu::{Engine, GpuSpec};
+use gnnadvisor_gpu::{Engine, GpuSpec, TraceRecorder};
 use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::stats::DegreeStats;
@@ -35,6 +37,8 @@ pub struct CliOptions {
     pub feat_dim: usize,
     /// Class count when loading raw edge lists.
     pub num_classes: usize,
+    /// Where `profile` writes its chrome://tracing JSON (`None` = don't).
+    pub trace_out: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -47,6 +51,7 @@ impl Default for CliOptions {
             gpu: "p6000".into(),
             feat_dim: 96,
             num_classes: 10,
+            trace_out: None,
         }
     }
 }
@@ -85,8 +90,23 @@ impl CliOptions {
                         .parse()
                         .map_err(|_| "--classes needs an integer".to_string())?
                 }
+                "--trace-out" => opts.trace_out = Some(need()?),
                 other => return Err(format!("unknown option {other}")),
             }
+        }
+        // Range checks up front, so a bad value fails with the CLI's own
+        // message instead of a panic deep inside dataset scaling.
+        if !(opts.scale.is_finite() && opts.scale > 0.0 && opts.scale <= 1.0) {
+            return Err(format!(
+                "--scale must be a number in (0, 1], got {}",
+                opts.scale
+            ));
+        }
+        if opts.feat_dim == 0 {
+            return Err("--feat-dim must be at least 1".to_string());
+        }
+        if opts.num_classes == 0 {
+            return Err("--classes must be at least 1".to_string());
         }
         Ok(opts)
     }
@@ -241,6 +261,56 @@ pub fn run(opts: &CliOptions) -> CliResult {
     ))
 }
 
+/// `profile`: one forward pass with the trace recorder attached. Prints
+/// the phase-attributed cycle breakdown and the flamegraph-style span
+/// report; `--trace-out FILE` additionally writes chrome://tracing JSON.
+/// Timestamps are simulated cycles, so the output is byte-identical
+/// run-to-run and at any `GNNADVISOR_SIM_THREADS`.
+pub fn profile(opts: &CliOptions) -> CliResult {
+    let ds = opts.load()?;
+    let spec = opts.spec()?;
+    let tracer = Arc::new(TraceRecorder::new());
+    let engine = Engine::new(spec.clone()).with_tracer(Arc::clone(&tracer));
+    // The traced engine must drive the advisor too: GNNAdvisor-framework
+    // kernels launch on `advisor.engine()`, not the exec's engine.
+    let advisor = Advisor::new(
+        &ds.graph,
+        ds.feat_dim,
+        16,
+        ds.num_classes,
+        model_order(&opts.model)?,
+        AdvisorConfig {
+            spec,
+            engine: Some(engine.clone()),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let features = random_features(ds.graph.num_nodes(), ds.feat_dim, 7);
+    let exec = ModelExec::new(&engine, &ds.graph, Framework::GnnAdvisor, Some(&advisor));
+    let result = forward(&opts.model, &exec, &ds, &features)?;
+
+    let mut out = format!(
+        "{} on {} ({}): {:.4} simulated ms, {} trace events\n\
+         phases: {}\n\n{}",
+        opts.model.to_uppercase(),
+        ds.spec.name,
+        engine.spec().name,
+        result.metrics.total_ms(),
+        tracer.len(),
+        result.metrics.phases.report(),
+        tracer.flame_report(),
+    );
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, tracer.to_chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!(
+            "\nchrome trace written to {path} (load via chrome://tracing or ui.perfetto.dev)\n"
+        ));
+    }
+    Ok(out)
+}
+
 /// `compare`: every execution strategy on one aggregation pass.
 pub fn compare(opts: &CliOptions) -> CliResult {
     let ds = opts.load()?;
@@ -353,6 +423,7 @@ USAGE:
 COMMANDS:
     analyze    input-extractor report + suggested runtime parameters
     run        one model forward pass under GNNAdvisor, with metrics
+    profile    a traced forward pass: phase breakdown + span report
     compare    all execution strategies on one aggregation pass
     tune       the Section 7 Modeling & Estimating pipeline
 
@@ -364,6 +435,7 @@ OPTIONS:
     --gpu G              p6000 | v100, default p6000
     --feat-dim D         feature dim for --edge-list inputs (default 96)
     --classes C          class count for --edge-list inputs (default 10)
+    --trace-out FILE     profile only: write chrome://tracing JSON here
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -373,6 +445,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
     match cmd.as_str() {
         "analyze" => analyze(&opts),
         "run" => run(&opts),
+        "profile" => profile(&opts),
         "compare" => compare(&opts),
         "tune" => tune(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -398,6 +471,56 @@ mod tests {
         assert_eq!(o.gpu, "v100");
         assert!(CliOptions::parse(&args("--bogus 1")).is_err());
         assert!(CliOptions::parse(&args("--scale")).is_err());
+    }
+
+    #[test]
+    fn out_of_range_scale_rejected_at_parse() {
+        for bad in ["2", "-1", "0", "NaN", "inf", "1.0001"] {
+            let err = CliOptions::parse(&args(&format!("--scale {bad}")))
+                .expect_err(bad)
+                .to_string();
+            assert!(err.contains("(0, 1]"), "{bad}: {err}");
+        }
+        // Boundary values stay accepted.
+        assert!(CliOptions::parse(&args("--scale 1")).is_ok());
+        assert!(CliOptions::parse(&args("--scale 0.001")).is_ok());
+    }
+
+    #[test]
+    fn zero_dims_rejected_at_parse() {
+        assert!(CliOptions::parse(&args("--feat-dim 0"))
+            .expect_err("zero feat dim")
+            .contains("--feat-dim"));
+        assert!(CliOptions::parse(&args("--classes 0"))
+            .expect_err("zero classes")
+            .contains("--classes"));
+        assert!(CliOptions::parse(&args("--feat-dim 1 --classes 1")).is_ok());
+    }
+
+    #[test]
+    fn profile_emits_deterministic_chrome_trace() {
+        let dir = std::env::temp_dir().join("gnnadvisor_profile_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        for path in [&a, &b] {
+            let out = dispatch(&args(&format!(
+                "profile --dataset Cora --scale 0.03 --trace-out {}",
+                path.display()
+            )))
+            .expect("runs");
+            assert!(out.contains("phases:"), "{out}");
+            assert!(out.contains("trace report"), "{out}");
+        }
+        let ja = std::fs::read(&a).expect("trace a");
+        let jb = std::fs::read(&b).expect("trace b");
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "chrome trace must be byte-identical run-to-run");
+        let text = String::from_utf8(ja).expect("utf8");
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("advisor_aggregation"));
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
     }
 
     #[test]
