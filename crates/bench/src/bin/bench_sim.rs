@@ -26,7 +26,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use gnnadvisor_gpu::kernel::WARP_SIZE;
-use gnnadvisor_gpu::{ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics};
+use gnnadvisor_gpu::{
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, Workload,
+    WorkloadMetrics,
+};
 use serde::{Deserialize, Serialize};
 
 /// Fixed workload: 512 blocks of 8 warps each, mixing a sliding coalesced
@@ -213,10 +216,17 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Times one full workload (`LAUNCHES_PER_RUN` launches) on an engine,
 /// checking run-to-run determinism against the warm-up metrics.
+fn launch(engine: &Engine, kernel: &SimWorkload) -> KernelMetrics {
+    engine
+        .submit(&mut engine.lock_context(), Workload::Kernel(kernel))
+        .map(WorkloadMetrics::into_kernel)
+        .expect("workload runs")
+}
+
 fn time_engine(engine: &Engine, kernel: &SimWorkload, expect: &KernelMetrics) -> f64 {
     let start = Instant::now();
     for _ in 0..LAUNCHES_PER_RUN {
-        let m = engine.run(kernel).expect("workload runs");
+        let m = launch(engine, kernel);
         assert_eq!(&m, expect, "engine must be deterministic run-to-run");
     }
     start.elapsed().as_secs_f64() * 1e3
@@ -240,15 +250,20 @@ fn main() {
 
     let engines: Vec<Engine> = WORKER_COUNTS
         .iter()
-        .map(|&t| Engine::new(spec.clone()).with_sim_threads(t))
+        .map(|&t| {
+            Engine::builder(spec.clone())
+                .sim_threads(t)
+                .build()
+                .expect("valid engine configuration")
+        })
         .collect();
     // Warm-ups: size each run context so steady state is allocation-free,
     // and record the metrics every timed launch must reproduce.
     let warm_baseline = baseline::launch(&kernel, &spec);
-    let serial_metrics = engines[0].run(&kernel).expect("workload runs");
+    let serial_metrics = launch(&engines[0], &kernel);
     let mut deterministic = true;
     for engine in &engines[1..] {
-        deterministic &= engine.run(&kernel).expect("workload runs") == serial_metrics;
+        deterministic &= launch(engine, &kernel) == serial_metrics;
     }
 
     // Interleave configurations round-robin so clock-speed drift over the

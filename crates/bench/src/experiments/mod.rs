@@ -7,5 +7,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod serving;
 pub mod table1;
 pub mod table2;

@@ -8,7 +8,7 @@
 
 use gnnadvisor_core::Framework;
 use gnnadvisor_datasets::neugraph::table2_datasets;
-use gnnadvisor_gpu::Engine;
+use gnnadvisor_gpu::{Engine, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
@@ -84,8 +84,16 @@ pub fn run(cfg: &ExperimentConfig) -> Table2Result {
         let feat_bytes = ds.graph.num_nodes() as u64 * ds.feat_dim as u64 * 4;
         let topo_bytes = ds.graph.adjacency_bytes() as u64;
         let out_bytes = ds.graph.num_nodes() as u64 * ds.num_classes as u64 * 4;
-        let advisor_io = engine.run_transfer(feat_bytes + topo_bytes).time_ms
-            + engine.run_transfer(out_bytes).time_ms;
+        let mut ctx = engine.lock_context();
+        let mut price_copy = |bytes: u64| {
+            engine
+                .submit(&mut ctx, Workload::Transfer { bytes })
+                .expect("transfer workloads are infallible")
+                .into_transfer()
+                .time_ms
+        };
+        let advisor_io = price_copy(feat_bytes + topo_bytes) + price_copy(out_bytes);
+        drop(ctx);
 
         let neu_total = neu.transfer_ms + neu.compute_ms;
         let our_total = advisor_io + ours.compute_ms;

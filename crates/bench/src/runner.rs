@@ -201,7 +201,10 @@ pub fn run_forward_traced(
     config: &ExperimentConfig,
 ) -> Result<(RunMetrics, Arc<TraceRecorder>)> {
     let tracer = Arc::new(TraceRecorder::new());
-    let engine = Engine::new(config.spec.clone()).with_tracer(Arc::clone(&tracer));
+    let engine = Engine::builder(config.spec.clone())
+        .tracer(Arc::clone(&tracer))
+        .build()
+        .expect("valid engine configuration");
     let advisor = if framework == Framework::GnnAdvisor {
         Some(Advisor::new(
             &ds.graph,

@@ -90,8 +90,11 @@ pub fn aggregate_with(
             run.push_kernel(adv.aggregate(dim)?);
         }
         Framework::Dgl => {
-            run.push_kernel(engine.run(&StackingKernel::new(graph.num_nodes(), dim))?);
-            let mut spmm = engine.run(&SpmmKernel::new(graph, dim))?;
+            run.push_kernel(crate::submit::launch(
+                engine,
+                &StackingKernel::new(graph.num_nodes(), dim),
+            )?);
+            let mut spmm = crate::submit::launch(engine, &SpmmKernel::new(graph, dim))?;
             // DGL's dataflow executes aggregation as several framework ops
             // (degree-norm coefficients, message transform, reduce,
             // epilogue), each its own kernel launch; GNNAdvisor fuses the
@@ -103,11 +106,17 @@ pub fn aggregate_with(
             run.push_kernel(spmm);
         }
         Framework::Pyg => {
-            run.push_kernel(engine.run(&GatherKernel::new(graph, dim))?);
-            run.push_kernel(engine.run(&ScatterKernel::new(graph, dim))?);
+            run.push_kernel(crate::submit::launch(
+                engine,
+                &GatherKernel::new(graph, dim),
+            )?);
+            run.push_kernel(crate::submit::launch(
+                engine,
+                &ScatterKernel::new(graph, dim),
+            )?);
         }
         Framework::Gunrock => {
-            let metrics = engine.run(&AdvanceKernel::new(graph, dim))?;
+            let metrics = crate::submit::launch(engine, &AdvanceKernel::new(graph, dim))?;
             // GunRock's scalar operators advance one dimension at a time:
             // each of the D passes launches its operator pipeline.
             let extra =
@@ -122,10 +131,16 @@ pub fn aggregate_with(
             run.merge(run_saga_layer(engine, graph, dim, NEUGRAPH_CHUNK_BUDGET)?);
         }
         Framework::NodeCentric => {
-            run.push_kernel(engine.run(&NodeCentricKernel::new(graph, dim, 256))?);
+            run.push_kernel(crate::submit::launch(
+                engine,
+                &NodeCentricKernel::new(graph, dim, 256),
+            )?);
         }
         Framework::EdgeCentric => {
-            run.push_kernel(engine.run(&EdgeCentricKernel::new(graph, dim, 256))?);
+            run.push_kernel(crate::submit::launch(
+                engine,
+                &EdgeCentricKernel::new(graph, dim, 256),
+            )?);
         }
     }
     Ok(run)

@@ -168,6 +168,7 @@ impl Kernel for AdvisorKernel<'_> {
 mod tests {
     use super::*;
     use crate::memory::organize::organize_shared;
+    use crate::submit::launch;
     use crate::workload::group::partition_groups;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::barabasi_albert;
@@ -194,7 +195,7 @@ mod tests {
         let layout = organize_shared(&groups, p.groups_per_block());
         let k = AdvisorKernel::new(&g, &groups, Some(&layout), 16, p);
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&k).expect("runs");
+        let m = launch(&engine, &k).expect("runs");
         // Every edge loads one 64 B feature row: at least E/2 line touches.
         assert!(m.l2_hits + m.l2_misses > g.num_edges() as u64 / 2);
         assert!(m.elapsed_cycles > 0);
@@ -206,12 +207,12 @@ mod tests {
         let p = params(2, 256, 8);
         let layout = organize_shared(&groups, p.groups_per_block());
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let with = engine
-            .run(&AdvisorKernel::new(&g, &groups, Some(&layout), 32, p))
-            .expect("runs");
-        let without = engine
-            .run(&AdvisorKernel::new(&g, &groups, None, 32, p))
-            .expect("runs");
+        let with = launch(
+            &engine,
+            &AdvisorKernel::new(&g, &groups, Some(&layout), 32, p),
+        )
+        .expect("runs");
+        let without = launch(&engine, &AdvisorKernel::new(&g, &groups, None, 32, p)).expect("runs");
         assert!(
             with.atomic_ops < without.atomic_ops,
             "leader flush must issue fewer atomics: {} vs {}",
@@ -238,12 +239,8 @@ mod tests {
         let (g, groups) = setup(8);
         let p = params(8, 256, 16);
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let a = engine
-            .run(&AdvisorKernel::new(&g, &groups, None, 64, p))
-            .expect("runs");
-        let b = engine
-            .run(&AdvisorKernel::new(&g, &groups, None, 64, p))
-            .expect("runs");
+        let a = launch(&engine, &AdvisorKernel::new(&g, &groups, None, 64, p)).expect("runs");
+        let b = launch(&engine, &AdvisorKernel::new(&g, &groups, None, 64, p)).expect("runs");
         assert_eq!(a, b);
     }
 

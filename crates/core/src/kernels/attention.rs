@@ -135,6 +135,7 @@ impl Kernel for SegmentSoftmaxKernel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::barabasi_albert;
 
@@ -144,12 +145,10 @@ mod tests {
         let large = barabasi_albert(2000, 3, 1).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let ms = |g: &Csr| {
-            engine
-                .run(&EdgeAttentionKernel::new(g))
+            launch(&engine, &EdgeAttentionKernel::new(g))
                 .expect("runs")
                 .time_ms
-                + engine
-                    .run(&SegmentSoftmaxKernel::new(g))
+                + launch(&engine, &SegmentSoftmaxKernel::new(g))
                     .expect("runs")
                     .time_ms
         };
@@ -162,7 +161,7 @@ mod tests {
         // embedding width, unlike the aggregation itself.
         let g = barabasi_albert(500, 4, 2).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&EdgeAttentionKernel::new(&g)).expect("runs");
+        let m = launch(&engine, &EdgeAttentionKernel::new(&g)).expect("runs");
         assert!(
             m.dram_bytes() < g.num_edges() as u64 * 64,
             "scalar passes stay lean"
@@ -173,7 +172,7 @@ mod tests {
     fn softmax_touches_each_edge_twice() {
         let g = barabasi_albert(300, 5, 3).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&SegmentSoftmaxKernel::new(&g)).expect("runs");
+        let m = launch(&engine, &SegmentSoftmaxKernel::new(&g)).expect("runs");
         // Read + write of the E-score buffer.
         assert!(m.l2_hits + m.l2_misses >= 2 * (g.num_edges() as u64 * 4) / 128);
     }

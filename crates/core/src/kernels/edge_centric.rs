@@ -105,6 +105,7 @@ impl Kernel for EdgeCentricKernel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::barabasi_albert;
     use gnnadvisor_graph::GraphBuilder;
@@ -114,9 +115,7 @@ mod tests {
         let g = barabasi_albert(200, 3, 1).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let d = 16;
-        let m = engine
-            .run(&EdgeCentricKernel::new(&g, d, 256))
-            .expect("runs");
+        let m = launch(&engine, &EdgeCentricKernel::new(&g, d, 256)).expect("runs");
         assert_eq!(m.atomic_ops, g.num_edges() as u64 * d as u64);
     }
 
@@ -129,9 +128,7 @@ mod tests {
             .build()
             .expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine
-            .run(&EdgeCentricKernel::new(&star, 8, 256))
-            .expect("runs");
+        let m = launch(&engine, &EdgeCentricKernel::new(&star, 8, 256)).expect("runs");
         assert!(
             m.atomic_serialization_cycles > 0,
             "hub contention must serialize atomics"

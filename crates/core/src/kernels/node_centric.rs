@@ -117,6 +117,7 @@ impl Kernel for NodeCentricKernel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::{barabasi_albert, erdos_renyi};
 
@@ -124,9 +125,7 @@ mod tests {
     fn no_atomics_needed() {
         let g = barabasi_albert(300, 4, 3).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine
-            .run(&NodeCentricKernel::new(&g, 16, 256))
-            .expect("runs");
+        let m = launch(&engine, &NodeCentricKernel::new(&g, 16, 256)).expect("runs");
         assert_eq!(m.atomic_ops, 0);
         assert!(m.dram_read_bytes > 0);
     }
@@ -136,12 +135,8 @@ mod tests {
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let skewed = barabasi_albert(2000, 3, 5).expect("valid");
         let flat = erdos_renyi(2000, 6000, 5).expect("valid");
-        let m_skew = engine
-            .run(&NodeCentricKernel::new(&skewed, 32, 256))
-            .expect("runs");
-        let m_flat = engine
-            .run(&NodeCentricKernel::new(&flat, 32, 256))
-            .expect("runs");
+        let m_skew = launch(&engine, &NodeCentricKernel::new(&skewed, 32, 256)).expect("runs");
+        let m_flat = launch(&engine, &NodeCentricKernel::new(&flat, 32, 256)).expect("runs");
         assert!(
             m_skew.sm_efficiency < m_flat.sm_efficiency,
             "power-law graph must show worse lane utilization: {} vs {}",

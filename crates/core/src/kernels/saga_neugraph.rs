@@ -135,13 +135,16 @@ pub fn run_saga_layer(
         let h2d = (end - start) as u64 * row_bytes
             + (chunk_edges as u64 * row_bytes).min(graph.num_nodes() as u64 * row_bytes)
             + chunk_edges as u64 * 4;
-        run.push_transfer(engine.run_transfer(h2d));
+        run.push_transfer(crate::submit::transfer(engine, h2d));
 
         let kernel = SagaChunkKernel::new(graph, start, end, dim);
-        run.push_kernel(engine.run(&kernel)?);
+        run.push_kernel(crate::submit::launch(engine, &kernel)?);
 
         // Device -> host: chunk results.
-        run.push_transfer(engine.run_transfer((end - start) as u64 * row_bytes));
+        run.push_transfer(crate::submit::transfer(
+            engine,
+            (end - start) as u64 * row_bytes,
+        ));
         start = end;
     }
     Ok(run)
@@ -150,6 +153,7 @@ pub fn run_saga_layer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::GpuSpec;
     use gnnadvisor_graph::generators::barabasi_albert;
 
@@ -183,10 +187,8 @@ mod tests {
         use crate::kernels::spmm_dgl::SpmmKernel;
         let g = barabasi_albert(500, 5, 9).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let saga = engine
-            .run(&SagaChunkKernel::new(&g, 0, 500, 64))
-            .expect("runs");
-        let spmm = engine.run(&SpmmKernel::new(&g, 64)).expect("runs");
+        let saga = launch(&engine, &SagaChunkKernel::new(&g, 0, 500, 64)).expect("runs");
+        let spmm = launch(&engine, &SpmmKernel::new(&g, 64)).expect("runs");
         assert!(
             saga.dram_bytes() > spmm.dram_bytes(),
             "SAGA stages edge state in memory"

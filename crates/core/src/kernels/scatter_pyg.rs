@@ -142,6 +142,7 @@ impl Kernel for ScatterKernel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::barabasi_albert;
 
@@ -150,7 +151,7 @@ mod tests {
         let g = barabasi_albert(300, 4, 4).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let d = 64;
-        let m = engine.run(&GatherKernel::new(&g, d)).expect("runs");
+        let m = launch(&engine, &GatherKernel::new(&g, d)).expect("runs");
         let msg_bytes = g.num_edges() as u64 * d as u64 * 4;
         assert!(
             m.dram_write_bytes >= msg_bytes / 2,
@@ -164,7 +165,7 @@ mod tests {
         let g = barabasi_albert(300, 4, 4).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let d = 16;
-        let m = engine.run(&ScatterKernel::new(&g, d)).expect("runs");
+        let m = launch(&engine, &ScatterKernel::new(&g, d)).expect("runs");
         assert_eq!(m.atomic_ops, g.num_edges() as u64 * d as u64);
     }
 
@@ -172,8 +173,8 @@ mod tests {
     fn cost_grows_superlinearly_with_dim() {
         let g = barabasi_albert(300, 4, 4).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let lo = engine.run(&GatherKernel::new(&g, 16)).expect("runs");
-        let hi = engine.run(&GatherKernel::new(&g, 512)).expect("runs");
+        let lo = launch(&engine, &GatherKernel::new(&g, 16)).expect("runs");
+        let hi = launch(&engine, &GatherKernel::new(&g, 512)).expect("runs");
         assert!(
             hi.time_ms > lo.time_ms * 4.0,
             "hi={} lo={}",

@@ -138,6 +138,7 @@ impl Kernel for StackingKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::submit::launch;
     use gnnadvisor_gpu::{Engine, GpuSpec};
     use gnnadvisor_graph::generators::{barabasi_albert, erdos_renyi};
 
@@ -145,7 +146,7 @@ mod tests {
     fn spmm_uses_no_atomics() {
         let g = barabasi_albert(400, 4, 2).expect("valid");
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&SpmmKernel::new(&g, 32)).expect("runs");
+        let m = launch(&engine, &SpmmKernel::new(&g, 32)).expect("runs");
         assert_eq!(m.atomic_ops, 0);
         assert!(m.dram_read_bytes > 0);
     }
@@ -155,15 +156,15 @@ mod tests {
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let skewed = barabasi_albert(2000, 3, 7).expect("valid");
         let flat = erdos_renyi(2000, 6000, 7).expect("valid");
-        let m_skew = engine.run(&SpmmKernel::new(&skewed, 32)).expect("runs");
-        let m_flat = engine.run(&SpmmKernel::new(&flat, 32)).expect("runs");
+        let m_skew = launch(&engine, &SpmmKernel::new(&skewed, 32)).expect("runs");
+        let m_flat = launch(&engine, &SpmmKernel::new(&flat, 32)).expect("runs");
         assert!(m_skew.sm_efficiency < m_flat.sm_efficiency);
     }
 
     #[test]
     fn stacking_moves_full_matrix() {
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&StackingKernel::new(1000, 64)).expect("runs");
+        let m = launch(&engine, &StackingKernel::new(1000, 64)).expect("runs");
         let matrix_bytes = 1000 * 64 * 4;
         assert!(m.dram_read_bytes + m.dram_write_bytes >= matrix_bytes as u64);
     }

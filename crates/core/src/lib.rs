@@ -34,6 +34,8 @@ pub mod kernels;
 pub mod memory;
 pub mod multi_gpu;
 pub mod runtime;
+pub mod serving;
+mod submit;
 pub mod tuning;
 pub mod workload;
 
@@ -43,7 +45,10 @@ pub use runtime::{Advisor, AdvisorConfig};
 pub use tuning::params::RuntimeParams;
 pub use workload::group::NeighborGroup;
 
-/// Errors surfaced by the runtime layer.
+/// The unified error type of the runtime stack: one public enum with one
+/// variant per layer (graph, tensor, gpu, runtime params, serving), so no
+/// stringly-typed error crosses a crate boundary. The facade crate
+/// re-exports this as its root error type.
 #[derive(Debug)]
 pub enum CoreError {
     /// Invalid runtime parameters (e.g. zero group size).
@@ -57,6 +62,11 @@ pub enum CoreError {
     Gpu(gnnadvisor_gpu::GpuError),
     /// Propagated tensor error.
     Tensor(gnnadvisor_tensor::TensorError),
+    /// Invalid serving configuration (queue, batcher, or arrival policy).
+    Serving {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for CoreError {
@@ -66,6 +76,7 @@ impl core::fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Gpu(e) => write!(f, "gpu error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Serving { reason } => write!(f, "serving error: {reason}"),
         }
     }
 }

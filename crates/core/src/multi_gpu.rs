@@ -142,7 +142,7 @@ pub fn run_multi_gpu_aggregation(
         let fits =
             params.use_shared && layout.shared_bytes(dim) <= config.spec.shared_mem_per_block;
         let kernel = AdvisorKernel::new(graph, &local, fits.then_some(&layout), dim, params);
-        per_gpu.push(engine.run(&kernel)?);
+        per_gpu.push(crate::submit::launch(&engine, &kernel)?);
     }
 
     // Exchange phase: every device receives its halo rows; transfers

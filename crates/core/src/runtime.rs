@@ -184,7 +184,7 @@ impl Advisor {
             dim,
             resolved.params,
         );
-        Ok(self.engine.run(&kernel)?)
+        Ok(crate::submit::launch(&self.engine, &kernel)?)
     }
 
     /// The launch shape `aggregate(dim)` actually uses, with the narrowing
@@ -236,7 +236,7 @@ impl Advisor {
 
     /// Prices the dense update `rows x in_dim · in_dim x out_dim`.
     pub fn update(&self, rows: usize, in_dim: usize, out_dim: usize) -> KernelMetrics {
-        self.engine.run_gemm(rows, out_dim, in_dim)
+        crate::submit::gemm(&self.engine, rows, out_dim, in_dim)
     }
 
     /// The chosen runtime parameters.
@@ -399,7 +399,12 @@ mod tests {
         let mut runs = Vec::new();
         for threads in [1, 2, 5] {
             let cfg = AdvisorConfig {
-                engine: Some(Engine::new(GpuSpec::quadro_p6000()).with_sim_threads(threads)),
+                engine: Some(
+                    Engine::builder(GpuSpec::quadro_p6000())
+                        .sim_threads(threads)
+                        .build()
+                        .expect("valid"),
+                ),
                 renumber: Some(true),
                 ..Default::default()
             };

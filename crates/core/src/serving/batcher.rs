@@ -1,0 +1,241 @@
+//! Dynamic batching policy.
+//!
+//! Replays an arrival trace through the bounded admission queue and
+//! decides *when* to coalesce waiting requests into device batches. Two
+//! triggers, the standard max-batch / max-delay pair:
+//!
+//! - **size**: the instant the queue reaches `max_batch` waiters, a full
+//!   batch dispatches;
+//! - **delay**: a partial batch dispatches when its oldest waiter has
+//!   been queued for `max_delay_ms` — the latency bound a size trigger
+//!   alone cannot give under light load.
+//!
+//! The planner is pure (no device interaction): it maps an arrival trace
+//! to a deterministic sequence of [`DispatchedBatch`]es plus a shed
+//! count, which [`super::simulate`] then prices on the simulated GPU.
+
+use super::arrivals::Request;
+use super::queue::BoundedQueue;
+use crate::{CoreError, Result};
+
+/// When to close a forming batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are waiting.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once its oldest request has waited this
+    /// long, milliseconds.
+    pub max_delay_ms: f64,
+}
+
+/// How much backpressure the admission queue applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePolicy {
+    /// Maximum number of requests waiting to be batched; arrivals beyond
+    /// this are shed.
+    pub capacity: usize,
+}
+
+/// One batch the planner committed: the requests it coalesced and the
+/// instant it left the queue for the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchedBatch {
+    /// Dispatch instant on the serving clock, milliseconds.
+    pub dispatch_ms: f64,
+    /// The coalesced requests, in admission order.
+    pub requests: Vec<Request>,
+}
+
+/// The planner's full output for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<DispatchedBatch>,
+    /// Requests rejected by the admission queue.
+    pub shed: u64,
+}
+
+fn validate(queue: &QueuePolicy, policy: &BatchPolicy) -> Result<()> {
+    if policy.max_batch == 0 {
+        return Err(CoreError::Serving {
+            reason: "max_batch must be at least 1".into(),
+        });
+    }
+    if !(policy.max_delay_ms.is_finite() && policy.max_delay_ms >= 0.0) {
+        return Err(CoreError::Serving {
+            reason: format!(
+                "max_delay_ms must be non-negative and finite, got {}",
+                policy.max_delay_ms
+            ),
+        });
+    }
+    if queue.capacity == 0 {
+        return Err(CoreError::Serving {
+            reason: "queue capacity must be at least 1".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Drains up to `max_batch` requests into a batch dispatched at `at_ms`.
+fn dispatch(
+    at_ms: f64,
+    queue: &mut BoundedQueue<Request>,
+    max_batch: usize,
+    out: &mut Vec<DispatchedBatch>,
+) {
+    let take = queue.len().min(max_batch);
+    let mut requests = Vec::with_capacity(take);
+    for _ in 0..take {
+        requests.push(queue.pop().expect("len checked"));
+    }
+    out.push(DispatchedBatch {
+        dispatch_ms: at_ms,
+        requests,
+    });
+}
+
+/// Replays `arrivals` (must be sorted by `arrival_ms`) through the
+/// admission queue and batching policy.
+pub fn plan_batches(
+    arrivals: &[Request],
+    queue_policy: &QueuePolicy,
+    policy: &BatchPolicy,
+) -> Result<BatchPlan> {
+    validate(queue_policy, policy)?;
+    for pair in arrivals.windows(2) {
+        if pair[0].arrival_ms > pair[1].arrival_ms {
+            return Err(CoreError::Serving {
+                reason: format!(
+                    "arrival trace is not sorted: {} ms after {} ms",
+                    pair[1].arrival_ms, pair[0].arrival_ms
+                ),
+            });
+        }
+    }
+
+    let mut queue: BoundedQueue<Request> = BoundedQueue::new(queue_policy.capacity);
+    let mut batches = Vec::new();
+    for request in arrivals {
+        // Fire every delay deadline that elapses before this arrival.
+        while let Some(front) = queue.front() {
+            let deadline = front.arrival_ms + policy.max_delay_ms;
+            if deadline <= request.arrival_ms {
+                dispatch(deadline, &mut queue, policy.max_batch, &mut batches);
+            } else {
+                break;
+            }
+        }
+        if queue.offer(request.clone()) && queue.len() >= policy.max_batch {
+            dispatch(
+                request.arrival_ms,
+                &mut queue,
+                policy.max_batch,
+                &mut batches,
+            );
+        }
+    }
+    // End of trace: the server does not know the trace ended, so each
+    // leftover batch still waits out its oldest member's delay deadline.
+    while !queue.is_empty() {
+        let deadline = queue.front().expect("non-empty").arrival_ms + policy.max_delay_ms;
+        dispatch(deadline, &mut queue, policy.max_batch, &mut batches);
+    }
+
+    Ok(BatchPlan {
+        batches,
+        shed: queue.shed_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, arrival_ms: f64) -> Request {
+        Request {
+            id,
+            arrival_ms,
+            component: 0,
+        }
+    }
+
+    fn queue(capacity: usize) -> QueuePolicy {
+        QueuePolicy { capacity }
+    }
+
+    fn policy(max_batch: usize, max_delay_ms: f64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_delay_ms,
+        }
+    }
+
+    #[test]
+    fn size_trigger_dispatches_at_the_filling_arrival() {
+        let arrivals: Vec<Request> = (0..6).map(|i| req(i, i as f64)).collect();
+        let plan = plan_batches(&arrivals, &queue(16), &policy(3, 100.0)).expect("valid");
+        assert_eq!(plan.shed, 0);
+        assert_eq!(plan.batches.len(), 2);
+        // Batch closes the instant its third member arrives.
+        assert_eq!(plan.batches[0].dispatch_ms, 2.0);
+        assert_eq!(plan.batches[1].dispatch_ms, 5.0);
+        let ids: Vec<usize> = plan.batches[0].requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn delay_trigger_flushes_partial_batches() {
+        // Two early requests, then a long gap: the delay timer must fire.
+        let arrivals = vec![req(0, 0.0), req(1, 1.0), req(2, 50.0)];
+        let plan = plan_batches(&arrivals, &queue(16), &policy(4, 5.0)).expect("valid");
+        assert_eq!(plan.batches.len(), 2);
+        assert_eq!(plan.batches[0].dispatch_ms, 5.0);
+        assert_eq!(plan.batches[0].requests.len(), 2);
+        // The straggler flushes at its own deadline after the trace ends.
+        assert_eq!(plan.batches[1].dispatch_ms, 55.0);
+        assert_eq!(plan.batches[1].requests.len(), 1);
+    }
+
+    #[test]
+    fn overload_sheds_beyond_queue_capacity() {
+        // Everything arrives at once; capacity 4 admits four, sheds six.
+        let arrivals: Vec<Request> = (0..10).map(|i| req(i, 0.0)).collect();
+        let plan = plan_batches(&arrivals, &queue(4), &policy(8, 10.0)).expect("valid");
+        assert_eq!(plan.shed, 6);
+        let served: usize = plan.batches.iter().map(|b| b.requests.len()).sum();
+        assert_eq!(served, 4);
+    }
+
+    #[test]
+    fn draining_between_bursts_readmits() {
+        // Burst fills capacity, delay drains it, second burst is admitted.
+        let mut arrivals: Vec<Request> = (0..4).map(|i| req(i, 0.0)).collect();
+        arrivals.extend((4..8).map(|i| req(i, 20.0)));
+        let plan = plan_batches(&arrivals, &queue(4), &policy(8, 5.0)).expect("valid");
+        assert_eq!(plan.shed, 0);
+        let served: usize = plan.batches.iter().map(|b| b.requests.len()).sum();
+        assert_eq!(served, 8);
+    }
+
+    #[test]
+    fn dispatch_times_never_decrease() {
+        let arrivals: Vec<Request> = (0..50).map(|i| req(i, (i as f64 * 1.7) % 40.0)).collect();
+        let mut sorted = arrivals;
+        sorted.sort_by(|a, b| a.arrival_ms.partial_cmp(&b.arrival_ms).unwrap());
+        let plan = plan_batches(&sorted, &queue(8), &policy(3, 4.0)).expect("valid");
+        for pair in plan.batches.windows(2) {
+            assert!(pair[0].dispatch_ms <= pair[1].dispatch_ms);
+        }
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        assert!(plan_batches(&[], &queue(4), &policy(0, 1.0)).is_err());
+        assert!(plan_batches(&[], &queue(0), &policy(4, 1.0)).is_err());
+        assert!(plan_batches(&[], &queue(4), &policy(4, -1.0)).is_err());
+        assert!(plan_batches(&[], &queue(4), &policy(4, f64::NAN)).is_err());
+        let unsorted = vec![req(0, 5.0), req(1, 1.0)];
+        assert!(plan_batches(&unsorted, &queue(4), &policy(4, 1.0)).is_err());
+    }
+}

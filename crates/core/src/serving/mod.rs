@@ -1,0 +1,402 @@
+//! Multi-stream serving runtime with dynamic batching.
+//!
+//! GNNAdvisor's runtime (the paper, Section 4) optimizes one forward pass
+//! at a time. This module layers an *inference server* on top of the same
+//! simulated device: an open-loop arrival process ([`arrivals`]) feeds a
+//! bounded admission queue ([`queue`]), a dynamic batcher coalesces
+//! waiting requests under a max-batch / max-delay policy ([`batcher`]),
+//! and the dispatched batches execute on concurrent simulated streams
+//! ([`gnnadvisor_gpu::stream`]) so host↔device copies overlap compute and
+//! small kernels co-reside on the SMs.
+//!
+//! The split of responsibilities:
+//!
+//! - [`plan_batches`] is pure policy — trace in, dispatch schedule and
+//!   shed count out;
+//! - [`BatchExecutor`] is the model-specific part (what device work one
+//!   batch costs), implemented by the model layer so this crate never
+//!   depends on it;
+//! - [`simulate`] ties them together: batches round-robin across
+//!   `streams` simulated streams, each pinned to its dispatch instant via
+//!   a release time, and per-request latency is measured from arrival to
+//!   the completion of its batch's last op on the simulated clock.
+//!
+//! Everything downstream of the seed is deterministic: the report is
+//! byte-identical across runs and across `GNNADVISOR_SIM_THREADS`
+//! settings (the engine's pricing is worker-count-invariant and the
+//! stream scheduler is serial).
+
+pub mod arrivals;
+pub mod batcher;
+pub mod queue;
+
+pub use arrivals::{generate_arrivals, ArrivalConfig, Request};
+pub use batcher::{plan_batches, BatchPlan, BatchPolicy, DispatchedBatch, QueuePolicy};
+pub use queue::BoundedQueue;
+
+use gnnadvisor_gpu::{Engine, Kernel, StreamSim, Workload};
+
+use crate::{CoreError, Result};
+
+/// One unit of device work an executor plans for a batch.
+pub enum DeviceWork {
+    /// A full simulated kernel (priced through the engine's block model).
+    Kernel(Box<dyn Kernel>),
+    /// A roofline-priced dense update, `m×k · k×n`.
+    Gemm {
+        /// Rows of the left operand.
+        m: usize,
+        /// Columns of the right operand.
+        n: usize,
+        /// Shared inner dimension.
+        k: usize,
+    },
+    /// A host↔device copy over the single copy engine.
+    Transfer {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl core::fmt::Debug for DeviceWork {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeviceWork::Kernel(k) => f.debug_tuple("Kernel").field(&k.name()).finish(),
+            DeviceWork::Gemm { m, n, k } => f
+                .debug_struct("Gemm")
+                .field("m", m)
+                .field("n", n)
+                .field("k", k)
+                .finish(),
+            DeviceWork::Transfer { bytes } => {
+                f.debug_struct("Transfer").field("bytes", bytes).finish()
+            }
+        }
+    }
+}
+
+/// The device-side plan for one dispatched batch, executed in order on
+/// one stream.
+#[derive(Debug, Default)]
+pub struct BatchWork {
+    /// Ordered device ops; typically h2d copy, kernels/GEMMs, d2h copy.
+    pub ops: Vec<DeviceWork>,
+}
+
+/// The model-specific half of the server: turns a dispatched batch into
+/// device work. Implemented by the model layer (e.g. a GCN forward over
+/// the batch's coalesced graphs).
+pub trait BatchExecutor {
+    /// Plans the device ops for `batch`.
+    fn plan(&mut self, batch: &DispatchedBatch) -> Result<BatchWork>;
+}
+
+/// Server shape: stream count plus the queue and batch policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Concurrent device streams batches round-robin across.
+    pub streams: usize,
+    /// Admission-queue backpressure.
+    pub queue: QueuePolicy,
+    /// Dynamic batching policy.
+    pub batch: BatchPolicy,
+}
+
+/// Aggregate latency/throughput statistics of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests that completed on the device.
+    pub completed: usize,
+    /// Requests rejected by the admission queue.
+    pub shed: u64,
+    /// Batches dispatched to the device.
+    pub batches: usize,
+    /// Median request latency (arrival → batch completion), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_ms: f64,
+    /// Mean request latency, ms.
+    pub mean_ms: f64,
+    /// Completed requests per second of simulated schedule time.
+    pub throughput_rps: f64,
+    /// End of the last device op on the simulated clock, ms.
+    pub makespan_ms: f64,
+    /// Total SM-side busy cycles across the schedule.
+    pub kernel_busy_cycles: u64,
+    /// Total copy-engine busy cycles across the schedule.
+    pub copy_busy_cycles: u64,
+}
+
+impl ServingReport {
+    /// Renders the report as a deterministic fixed-precision table (the
+    /// CLI prints this; CI diffs it byte-for-byte across runs and worker
+    /// counts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("serving-sim report\n");
+        out.push_str(&format!("  requests completed   {}\n", self.completed));
+        out.push_str(&format!("  requests shed        {}\n", self.shed));
+        out.push_str(&format!("  batches dispatched   {}\n", self.batches));
+        out.push_str(&format!("  latency p50          {:.3} ms\n", self.p50_ms));
+        out.push_str(&format!("  latency p95          {:.3} ms\n", self.p95_ms));
+        out.push_str(&format!("  latency p99          {:.3} ms\n", self.p99_ms));
+        out.push_str(&format!("  latency mean         {:.3} ms\n", self.mean_ms));
+        out.push_str(&format!(
+            "  throughput           {:.3} req/s\n",
+            self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "  makespan             {:.3} ms\n",
+            self.makespan_ms
+        ));
+        out.push_str(&format!(
+            "  kernel busy cycles   {}\n",
+            self.kernel_busy_cycles
+        ));
+        out.push_str(&format!(
+            "  copy engine cycles   {}\n",
+            self.copy_busy_cycles
+        ));
+        out
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Runs the full serving pipeline on the simulated device: plans batches
+/// from `arrivals`, round-robins them across `cfg.streams` streams (each
+/// batch released at its dispatch instant), executes the multi-stream
+/// schedule, and aggregates per-request latencies.
+pub fn simulate(
+    engine: &Engine,
+    arrivals: &[Request],
+    cfg: &ServingConfig,
+    exec: &mut dyn BatchExecutor,
+) -> Result<ServingReport> {
+    if cfg.streams == 0 {
+        return Err(CoreError::Serving {
+            reason: "streams must be at least 1".into(),
+        });
+    }
+    let plan = plan_batches(arrivals, &cfg.queue, &cfg.batch)?;
+    let spec = engine.spec();
+
+    let mut sim = StreamSim::new(engine);
+    let streams: Vec<_> = (0..cfg.streams).map(|_| sim.stream()).collect();
+    // (batch index, completion handle): completion is the batch's last op.
+    let mut tails = Vec::with_capacity(plan.batches.len());
+    for (i, batch) in plan.batches.iter().enumerate() {
+        let stream = streams[i % streams.len()];
+        let release = spec.ms_to_cycles(batch.dispatch_ms);
+        let work = exec.plan(batch)?;
+        let mut tail = None;
+        for op in &work.ops {
+            let workload = match op {
+                DeviceWork::Kernel(k) => Workload::Kernel(&**k),
+                DeviceWork::Gemm { m, n, k } => Workload::Gemm {
+                    m: *m,
+                    n: *n,
+                    k: *k,
+                },
+                DeviceWork::Transfer { bytes } => Workload::Transfer { bytes: *bytes },
+            };
+            let (handle, _) = sim.enqueue_at(stream, workload, release)?;
+            tail = Some(handle);
+        }
+        tails.push((i, tail));
+    }
+    let report = sim.run()?;
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for (i, tail) in tails {
+        let batch = &plan.batches[i];
+        // A batch with no device ops completes at its dispatch instant.
+        let end_cycles = match tail {
+            Some(handle) => report.op_end(handle).expect("committed op has a span"),
+            None => spec.ms_to_cycles(batch.dispatch_ms),
+        };
+        let end_ms = spec.cycles_to_ms(end_cycles);
+        for request in &batch.requests {
+            latencies.push((end_ms - request.arrival_ms).max(0.0));
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    let completed = latencies.len();
+    let mean_ms = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / completed as f64
+    };
+    let throughput_rps = if report.makespan_ms > 0.0 {
+        completed as f64 * 1000.0 / report.makespan_ms
+    } else {
+        0.0
+    };
+    Ok(ServingReport {
+        completed,
+        shed: plan.shed,
+        batches: plan.batches.len(),
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        mean_ms,
+        throughput_rps,
+        makespan_ms: report.makespan_ms,
+        kernel_busy_cycles: report.kernel_busy_cycles,
+        copy_busy_cycles: report.copy_busy_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnadvisor_gpu::GpuSpec;
+
+    /// A model-free executor: per batch, an h2d copy, one GEMM whose rows
+    /// scale with batch size, and a d2h copy.
+    struct GemmExecutor {
+        rows_per_request: usize,
+        dim: usize,
+    }
+
+    impl BatchExecutor for GemmExecutor {
+        fn plan(&mut self, batch: &DispatchedBatch) -> crate::Result<BatchWork> {
+            let rows = self.rows_per_request * batch.requests.len();
+            let bytes = (rows * self.dim * 4) as u64;
+            Ok(BatchWork {
+                ops: vec![
+                    DeviceWork::Transfer { bytes },
+                    DeviceWork::Gemm {
+                        m: rows,
+                        n: self.dim,
+                        k: self.dim,
+                    },
+                    DeviceWork::Transfer { bytes },
+                ],
+            })
+        }
+    }
+
+    fn trace() -> Vec<Request> {
+        generate_arrivals(&ArrivalConfig {
+            num_requests: 64,
+            mean_interarrival_ms: 0.4,
+            num_components: 4,
+            seed: 7,
+        })
+        .expect("valid")
+    }
+
+    fn config(streams: usize) -> ServingConfig {
+        ServingConfig {
+            streams,
+            queue: QueuePolicy { capacity: 32 },
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_delay_ms: 2.0,
+            },
+        }
+    }
+
+    fn exec() -> GemmExecutor {
+        GemmExecutor {
+            rows_per_request: 512,
+            dim: 64,
+        }
+    }
+
+    #[test]
+    fn reports_are_identical_across_runs_and_worker_counts() {
+        let mut renders = Vec::new();
+        for sim_threads in [1, 1, 4] {
+            let engine = Engine::builder(GpuSpec::quadro_p6000())
+                .sim_threads(sim_threads)
+                .build()
+                .expect("valid");
+            let report = simulate(&engine, &trace(), &config(3), &mut exec()).expect("runs");
+            renders.push(report.render());
+        }
+        assert_eq!(renders[0], renders[1], "same engine, same report");
+        assert_eq!(renders[0], renders[2], "worker count must not leak");
+    }
+
+    #[test]
+    fn latency_stats_are_ordered_and_complete() {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let report = simulate(&engine, &trace(), &config(2), &mut exec()).expect("runs");
+        assert_eq!(report.completed as u64 + report.shed, 64);
+        assert!(report.completed > 0);
+        assert!(report.batches > 0);
+        assert!(report.p50_ms <= report.p95_ms);
+        assert!(report.p95_ms <= report.p99_ms);
+        assert!(report.p50_ms > 0.0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn more_streams_never_slow_the_schedule() {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let serialized = simulate(&engine, &trace(), &config(1), &mut exec()).expect("runs");
+        let overlapped = simulate(&engine, &trace(), &config(4), &mut exec()).expect("runs");
+        assert!(
+            overlapped.makespan_ms <= serialized.makespan_ms,
+            "overlap {} ms vs serialized {} ms",
+            overlapped.makespan_ms,
+            serialized.makespan_ms
+        );
+        assert_eq!(overlapped.completed, serialized.completed);
+    }
+
+    #[test]
+    fn overload_sheds_and_reports_it() {
+        // Offered load far beyond capacity: a burst of simultaneous
+        // arrivals against a tiny queue.
+        let arrivals: Vec<Request> = (0..40)
+            .map(|id| Request {
+                id,
+                arrival_ms: 0.0,
+                component: 0,
+            })
+            .collect();
+        let cfg = ServingConfig {
+            streams: 2,
+            queue: QueuePolicy { capacity: 6 },
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_delay_ms: 4.0,
+            },
+        };
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let report = simulate(&engine, &arrivals, &cfg, &mut exec()).expect("runs");
+        assert!(report.shed > 0, "overload must shed");
+        assert_eq!(report.completed as u64 + report.shed, 40);
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let report = simulate(&engine, &[], &config(2), &mut exec()).expect("runs");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.p99_ms, 0.0);
+        assert_eq!(report.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn zero_streams_is_rejected() {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let err = simulate(&engine, &[], &config(0), &mut exec());
+        assert!(matches!(err, Err(CoreError::Serving { .. })));
+    }
+}

@@ -1,0 +1,112 @@
+//! Bounded admission queue with load shedding.
+//!
+//! The serving front door: arrivals are offered to a fixed-capacity FIFO;
+//! when it is full the request is *shed* (rejected immediately) rather
+//! than queued unboundedly — the backpressure policy that keeps tail
+//! latency bounded under overload.
+
+use std::collections::VecDeque;
+
+/// A FIFO that never grows past its capacity, counting rejections.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    shed: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (callers validate via policy types).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            shed: 0,
+        }
+    }
+
+    /// Admits `item` if there is room; sheds (drops and counts) it
+    /// otherwise. Returns whether the item was admitted.
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.shed += 1;
+            false
+        } else {
+            self.items.push_back(item);
+            true
+        }
+    }
+
+    /// Removes and returns the oldest admitted item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest admitted item, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of items currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// How many offers have been rejected so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// The fixed admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let mut q = BoundedQueue::new(3);
+        assert!(q.offer(1));
+        assert!(q.offer(2));
+        assert!(q.offer(3));
+        assert!(!q.offer(4));
+        assert!(!q.offer(5));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shed_count(), 2);
+        // Draining frees room again.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.offer(6));
+        assert_eq!(q.shed_count(), 2);
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.offer(i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_a_bug() {
+        let _ = BoundedQueue::<i32>::new(0);
+    }
+}

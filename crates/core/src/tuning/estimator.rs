@@ -218,6 +218,7 @@ impl Estimator {
 mod tests {
     use super::*;
     use crate::input::AggOrder;
+    use crate::submit::gemm;
 
     fn input() -> InputInfo {
         InputInfo {
@@ -272,15 +273,14 @@ mod tests {
         let mut engines_seen: Vec<*const GpuSpec> = Vec::new();
         let fitness = |p: &RuntimeParams, e: &Engine| {
             engines_seen.push(e.spec() as *const GpuSpec);
-            e.run_gemm(1_000, p.threads_per_block as usize, 16).time_ms
+            gemm(e, 1_000, p.threads_per_block as usize, 16).time_ms
         };
         let a = est.tune_profiled(fitness);
         assert!(
             engines_seen.windows(2).all(|w| w[0] == w[1]),
             "every candidate must be scored on the same engine"
         );
-        let b =
-            est.tune_profiled(|p, e| e.run_gemm(1_000, p.threads_per_block as usize, 16).time_ms);
+        let b = est.tune_profiled(|p, e| gemm(e, 1_000, p.threads_per_block as usize, 16).time_ms);
         assert_eq!(a, b, "profiled search is deterministic given the seed");
     }
 
@@ -342,11 +342,11 @@ mod tests {
         // and returns feasible parameters.
         let est = Estimator::new(input(), GpuSpec::quadro_p6000(), EstimatorConfig::default());
         let a = est.tune_profiled_breakdown(|p, e| {
-            e.run_gemm(1_000, p.threads_per_block as usize, 16).phases
+            gemm(e, 1_000, p.threads_per_block as usize, 16).phases
         });
         a.validate().expect("feasible");
         let b = est.tune_profiled_breakdown(|p, e| {
-            e.run_gemm(1_000, p.threads_per_block as usize, 16).phases
+            gemm(e, 1_000, p.threads_per_block as usize, 16).phases
         });
         assert_eq!(a, b);
     }

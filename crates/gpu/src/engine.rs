@@ -36,8 +36,18 @@
 //!
 //! All mutable state lives in a recycled [`RunContext`], so steady-state
 //! launches allocate nothing on the hot path. The worker count comes from
-//! `GNNADVISOR_SIM_THREADS` (or [`Engine::with_sim_threads`]); `0` means
+//! `GNNADVISOR_SIM_THREADS` (or [`EngineBuilder::sim_threads`]); `0` means
 //! one worker per available core.
+//!
+//! # Submission API
+//!
+//! Every way of putting work on the simulated device goes through one
+//! typed entry point: [`Engine::submit`] takes a [`Workload`] — a kernel
+//! launch, a roofline-priced GEMM, or a host↔device transfer — and returns
+//! [`WorkloadMetrics`]. This uniform surface is what
+//! [`crate::stream::StreamSim`] enqueues onto simulated streams. The
+//! pre-existing `run`/`run_in`/`run_gemm`/`run_transfer` entry points are
+//! deprecated shims over `submit`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,7 +58,7 @@ use crate::metrics::{KernelMetrics, PhaseBreakdown};
 use crate::spec::GpuSpec;
 use crate::trace::{HotBlock, ShardTrace, TraceRecorder, HOTSPOTS_PER_KERNEL};
 use crate::transfer::{transfer, TransferMetrics};
-use crate::Result;
+use crate::{GpuError, Result};
 
 /// Hard ceiling on configured simulation workers — far above any host's
 /// core count, so anything bigger is a typo, not a configuration.
@@ -77,6 +87,219 @@ pub fn parse_sim_threads(raw: &str) -> core::result::Result<usize, String> {
     }
 }
 
+/// One unit of device work, submitted through [`Engine::submit`] (and
+/// enqueued onto simulated streams by [`crate::stream::StreamSim`]).
+#[derive(Clone, Copy)]
+pub enum Workload<'a> {
+    /// A kernel launch simulated at block granularity.
+    Kernel(&'a dyn Kernel),
+    /// A dense `m x k · k x n` GEMM priced by the roofline model.
+    Gemm {
+        /// Rows of the left operand (and the output).
+        m: usize,
+        /// Columns of the right operand (and the output).
+        n: usize,
+        /// Inner (contraction) dimension.
+        k: usize,
+    },
+    /// A host↔device copy of `bytes` over the PCIe model.
+    Transfer {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl core::fmt::Debug for Workload<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Workload::Kernel(k) => f.debug_tuple("Kernel").field(&k.name()).finish(),
+            Workload::Gemm { m, n, k } => f
+                .debug_struct("Gemm")
+                .field("m", m)
+                .field("n", n)
+                .field("k", k)
+                .finish(),
+            Workload::Transfer { bytes } => {
+                f.debug_struct("Transfer").field("bytes", bytes).finish()
+            }
+        }
+    }
+}
+
+/// The metrics produced by one submitted [`Workload`]: kernels and GEMMs
+/// yield full [`KernelMetrics`], transfers yield [`TransferMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadMetrics {
+    /// Metrics of a simulated kernel launch or roofline-priced GEMM.
+    Kernel(KernelMetrics),
+    /// Metrics of a host↔device transfer.
+    Transfer(TransferMetrics),
+}
+
+impl WorkloadMetrics {
+    /// Simulated wall time of the workload in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        match self {
+            WorkloadMetrics::Kernel(m) => m.time_ms,
+            WorkloadMetrics::Transfer(m) => m.time_ms,
+        }
+    }
+
+    /// The kernel metrics, if this was a kernel or GEMM workload.
+    pub fn as_kernel(&self) -> Option<&KernelMetrics> {
+        match self {
+            WorkloadMetrics::Kernel(m) => Some(m),
+            WorkloadMetrics::Transfer(_) => None,
+        }
+    }
+
+    /// The transfer metrics, if this was a transfer workload.
+    pub fn as_transfer(&self) -> Option<&TransferMetrics> {
+        match self {
+            WorkloadMetrics::Kernel(_) => None,
+            WorkloadMetrics::Transfer(m) => Some(m),
+        }
+    }
+
+    /// Unwraps kernel/GEMM metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was a transfer.
+    pub fn into_kernel(self) -> KernelMetrics {
+        match self {
+            WorkloadMetrics::Kernel(m) => m,
+            WorkloadMetrics::Transfer(_) => {
+                panic!("expected kernel metrics, got transfer metrics")
+            }
+        }
+    }
+
+    /// Unwraps transfer metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was a kernel or GEMM.
+    pub fn into_transfer(self) -> TransferMetrics {
+        match self {
+            WorkloadMetrics::Kernel(_) => panic!("expected transfer metrics, got kernel metrics"),
+            WorkloadMetrics::Transfer(m) => m,
+        }
+    }
+}
+
+/// Validated construction of an [`Engine`]. Options accumulate on the
+/// builder and are checked once, at [`EngineBuilder::build`] — unlike the
+/// deprecated `with_*` setters, an invalid configuration is a typed error
+/// instead of a panic or silent fallback.
+///
+/// # Examples
+///
+/// ```
+/// use gnnadvisor_gpu::{Engine, GpuSpec};
+///
+/// let engine = Engine::builder(GpuSpec::quadro_p6000())
+///     .sim_threads(2)
+///     .build()
+///     .expect("2 workers is a valid configuration");
+/// assert_eq!(engine.sim_threads(), 2);
+/// // Zero workers is rejected at build() — use `sim_threads_auto()`
+/// // (or omit the option) for one worker per core.
+/// assert!(Engine::builder(GpuSpec::quadro_p6000())
+///     .sim_threads(0)
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    spec: GpuSpec,
+    sim_threads: SimThreadsRequest,
+    tracer: Option<Arc<TraceRecorder>>,
+}
+
+/// How the builder was asked to pick the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimThreadsRequest {
+    /// No request: defer to `GNNADVISOR_SIM_THREADS` at `build()`.
+    Env,
+    /// `sim_threads(n)`: explicit count, validated at `build()`.
+    Explicit(usize),
+    /// `sim_threads_auto()`: one worker per available core.
+    Auto,
+}
+
+impl EngineBuilder {
+    /// Requests an explicit simulation worker count. `build()` rejects `0`
+    /// (the old setters' "auto" sentinel) — say [`Self::sim_threads_auto`]
+    /// when you mean one worker per core — and anything above
+    /// [`MAX_SIM_THREADS`].
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = SimThreadsRequest::Explicit(threads);
+        self
+    }
+
+    /// Requests one simulation worker per available core (the default when
+    /// `GNNADVISOR_SIM_THREADS` is unset).
+    pub fn sim_threads_auto(mut self) -> Self {
+        self.sim_threads = SimThreadsRequest::Auto;
+        self
+    }
+
+    /// Attaches a span recorder; every launch, GEMM, and transfer of the
+    /// built engine is recorded on the simulated clock.
+    pub fn tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Validates the options and constructs the engine. With no explicit
+    /// worker count, `GNNADVISOR_SIM_THREADS` is consulted; a malformed
+    /// value is returned as [`GpuError::InvalidConfig`] rather than the
+    /// panic [`Engine::new`] raises.
+    pub fn build(self) -> Result<Engine> {
+        let sim_threads = match self.sim_threads {
+            // `sim_threads(0)` is almost always a stale caller still
+            // speaking the old setter's sentinel language; make the auto
+            // request explicit instead of guessing.
+            SimThreadsRequest::Explicit(0) => {
+                return Err(GpuError::InvalidConfig {
+                    reason: "sim_threads(0) is rejected; call sim_threads_auto() \
+                             for one worker per core"
+                        .into(),
+                })
+            }
+            SimThreadsRequest::Explicit(n) if n > MAX_SIM_THREADS => {
+                return Err(GpuError::InvalidConfig {
+                    reason: format!(
+                        "sim_threads({n}) exceeds the {MAX_SIM_THREADS}-worker ceiling"
+                    ),
+                })
+            }
+            SimThreadsRequest::Explicit(n) => n,
+            SimThreadsRequest::Auto => 0,
+            SimThreadsRequest::Env => match std::env::var("GNNADVISOR_SIM_THREADS") {
+                Err(std::env::VarError::NotPresent) => 0,
+                Err(std::env::VarError::NotUnicode(_)) => {
+                    return Err(GpuError::InvalidConfig {
+                        reason: "GNNADVISOR_SIM_THREADS is not valid unicode; \
+                                 unset it to use all cores"
+                            .into(),
+                    })
+                }
+                Ok(raw) => {
+                    parse_sim_threads(&raw).map_err(|reason| GpuError::InvalidConfig { reason })?
+                }
+            },
+        };
+        Ok(Engine {
+            spec: self.spec,
+            sim_threads,
+            ctx: Arc::new(Mutex::new(RunContext::new())),
+            tracer: self.tracer,
+        })
+    }
+}
+
 /// A simulated GPU ready to run kernels.
 ///
 /// Cloning an engine is cheap and **shares** its [`RunContext`], so a sweep
@@ -86,15 +309,20 @@ pub fn parse_sim_threads(raw: &str) -> core::result::Result<usize, String> {
 /// # Examples
 ///
 /// ```
-/// use gnnadvisor_gpu::{Engine, GpuSpec};
+/// use gnnadvisor_gpu::{Engine, GpuSpec, Workload};
 ///
 /// let engine = Engine::new(GpuSpec::quadro_p6000());
+/// let mut ctx = engine.lock_context();
 /// // Price the update phase of a 10k-node GCN layer (10k x 96 -> 16).
-/// let gemm = engine.run_gemm(10_000, 16, 96);
-/// assert!(gemm.time_ms > 0.0);
+/// let gemm = engine
+///     .submit(&mut ctx, Workload::Gemm { m: 10_000, n: 16, k: 96 })
+///     .unwrap();
+/// assert!(gemm.time_ms() > 0.0);
 /// // Price a 4 MB host-to-device feature upload.
-/// let copy = engine.run_transfer(4_000_000);
-/// assert!(copy.time_ms > 0.0);
+/// let copy = engine
+///     .submit(&mut ctx, Workload::Transfer { bytes: 4_000_000 })
+///     .unwrap();
+/// assert!(copy.time_ms() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -132,9 +360,21 @@ impl Engine {
         }
     }
 
+    /// Starts a validated [`EngineBuilder`] for the given device. This is
+    /// the supported way to configure tracing and worker counts; the
+    /// `with_*` setters are deprecated shims.
+    pub fn builder(spec: GpuSpec) -> EngineBuilder {
+        EngineBuilder {
+            spec,
+            sim_threads: SimThreadsRequest::Env,
+            tracer: None,
+        }
+    }
+
     /// Attaches a span recorder; every subsequent launch, GEMM, and
     /// transfer is recorded on the simulated clock. Clones of the engine
     /// share the recorder (like they share the run context).
+    #[deprecated(since = "0.4.0", note = "use Engine::builder(spec).tracer(..).build()")]
     pub fn with_tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
         self.tracer = Some(tracer);
         self
@@ -147,6 +387,11 @@ impl Engine {
 
     /// Overrides the simulation worker count (`0` = one per core). Results
     /// are bit-identical for any value; this only trades wall-clock time.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Engine::builder(spec).sim_threads(..).build() \
+                (sim_threads_auto() replaces the 0 sentinel)"
+    )]
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
         self.sim_threads = threads;
         self
@@ -162,16 +407,76 @@ impl Engine {
         &self.spec
     }
 
-    /// Launches a kernel against the engine's own (shared) context.
-    pub fn run(&self, kernel: &dyn Kernel) -> Result<KernelMetrics> {
-        let mut ctx = self.ctx.lock().unwrap_or_else(|p| p.into_inner());
-        self.run_in(&mut ctx, kernel)
+    /// Locks and returns the engine's own (shared) [`RunContext`], for
+    /// passing to [`Engine::submit`]. Clones of the engine share this
+    /// context; holding the guard across submissions recycles its
+    /// allocations without re-locking.
+    pub fn lock_context(&self) -> std::sync::MutexGuard<'_, RunContext> {
+        self.ctx.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Launches a kernel against an explicit context. The context is fully
-    /// re-prepared first, so any context yields identical results; passing
-    /// the same one across launches just recycles its allocations.
+    /// Submits one typed [`Workload`] — kernel launch, GEMM, or transfer —
+    /// and returns its [`WorkloadMetrics`]. The context is fully
+    /// re-prepared per submission, so any context yields identical
+    /// results; reusing one across submissions just recycles allocations.
+    /// Use [`Engine::lock_context`] for the engine's shared context, or an
+    /// owned [`RunContext`] for isolation.
+    pub fn submit(&self, ctx: &mut RunContext, workload: Workload<'_>) -> Result<WorkloadMetrics> {
+        self.submit_inner(ctx, workload, true)
+    }
+
+    /// `submit` with tracing suppressed: [`crate::stream::StreamSim`]
+    /// prices enqueued work through this path and records stream-placed
+    /// spans itself once the schedule is known.
+    pub(crate) fn submit_untraced(
+        &self,
+        ctx: &mut RunContext,
+        workload: Workload<'_>,
+    ) -> Result<WorkloadMetrics> {
+        self.submit_inner(ctx, workload, false)
+    }
+
+    fn submit_inner(
+        &self,
+        ctx: &mut RunContext,
+        workload: Workload<'_>,
+        traced: bool,
+    ) -> Result<WorkloadMetrics> {
+        match workload {
+            Workload::Kernel(kernel) => self
+                .launch_kernel(ctx, kernel, traced)
+                .map(WorkloadMetrics::Kernel),
+            Workload::Gemm { m, n, k } => {
+                Ok(WorkloadMetrics::Kernel(self.price_gemm(m, n, k, traced)))
+            }
+            Workload::Transfer { bytes } => Ok(WorkloadMetrics::Transfer(
+                self.price_transfer(bytes, traced),
+            )),
+        }
+    }
+
+    /// Launches a kernel against the engine's own (shared) context.
+    #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
+    pub fn run(&self, kernel: &dyn Kernel) -> Result<KernelMetrics> {
+        let mut ctx = self.ctx.lock().unwrap_or_else(|p| p.into_inner());
+        self.launch_kernel(&mut ctx, kernel, true)
+    }
+
+    /// Launches a kernel against an explicit context.
+    #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
     pub fn run_in(&self, ctx: &mut RunContext, kernel: &dyn Kernel) -> Result<KernelMetrics> {
+        self.launch_kernel(ctx, kernel, true)
+    }
+
+    /// Simulates one kernel launch. The context is fully re-prepared
+    /// first, so any context yields identical results; passing the same
+    /// one across launches just recycles its allocations.
+    fn launch_kernel(
+        &self,
+        ctx: &mut RunContext,
+        kernel: &dyn Kernel,
+        traced: bool,
+    ) -> Result<KernelMetrics> {
         let grid = kernel.grid();
         grid.validate(&self.spec)?;
 
@@ -258,7 +563,7 @@ impl Engine {
         // Per-shard spans and launch-wide hotspot blocks, gathered only
         // when tracing: both derive from per-shard state that is already
         // worker-count-invariant, so traced timelines are too.
-        let tracing = self.tracer.is_some();
+        let tracing = traced && self.tracer.is_some();
         let mut shard_traces: Vec<ShardTrace> = Vec::new();
         let mut hot_blocks: Vec<HotBlock> = Vec::new();
         for (shard_idx, slot) in shards[..plan.num_shards].iter_mut().enumerate() {
@@ -375,8 +680,10 @@ impl Engine {
         };
         totals.sm_efficiency = (feed_eff.min(1.0) * warp_eff).clamp(0.0, 1.0);
 
-        if let Some(tracer) = &self.tracer {
-            tracer.record_kernel(&totals, &self.spec, &shard_traces, &hot_blocks);
+        if tracing {
+            if let Some(tracer) = &self.tracer {
+                tracer.record_kernel(&totals, &self.spec, &shard_traces, &hot_blocks);
+            }
         }
 
         Ok(totals)
@@ -444,10 +751,16 @@ impl Engine {
         configured.min(num_shards)
     }
 
+    /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP).
+    #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Gemm")]
+    pub fn run_gemm(&self, m: usize, n: usize, k: usize) -> KernelMetrics {
+        self.price_gemm(m, n, k, true)
+    }
+
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP) with
     /// a cuBLAS-like roofline: compute at `gemm_efficiency` of peak FLOPs,
     /// memory as one pass over the three operand matrices.
-    pub fn run_gemm(&self, m: usize, n: usize, k: usize) -> KernelMetrics {
+    fn price_gemm(&self, m: usize, n: usize, k: usize, traced: bool) -> KernelMetrics {
         let flops = 2 * m as u64 * n as u64 * k as u64;
         let compute_cycles =
             (flops as f64 / (self.spec.flops_per_cycle() * self.spec.gemm_efficiency)) as u64;
@@ -482,17 +795,27 @@ impl Engine {
             },
             ..Default::default()
         };
-        if let Some(tracer) = &self.tracer {
-            tracer.record_gemm(&metrics);
+        if traced {
+            if let Some(tracer) = &self.tracer {
+                tracer.record_gemm(&metrics);
+            }
         }
         metrics
     }
 
     /// Prices a host→device or device→host copy.
+    #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Transfer")]
     pub fn run_transfer(&self, bytes: u64) -> TransferMetrics {
+        self.price_transfer(bytes, true)
+    }
+
+    /// Prices a host→device or device→host copy over the PCIe model.
+    fn price_transfer(&self, bytes: u64, traced: bool) -> TransferMetrics {
         let metrics = transfer(&self.spec, bytes);
-        if let Some(tracer) = &self.tracer {
-            tracer.record_transfer(&metrics, &self.spec);
+        if traced {
+            if let Some(tracer) = &self.tracer {
+                tracer.record_transfer(&metrics, &self.spec);
+            }
         }
         metrics
     }
@@ -619,6 +942,19 @@ mod tests {
         Engine::new(GpuSpec::quadro_p6000())
     }
 
+    /// Submits a kernel launch through the engine's shared context.
+    fn launch(e: &Engine, k: &dyn Kernel) -> Result<KernelMetrics> {
+        e.submit(&mut e.lock_context(), Workload::Kernel(k))
+            .map(WorkloadMetrics::into_kernel)
+    }
+
+    /// Submits a roofline GEMM through the engine's shared context.
+    fn gemm(e: &Engine, m: usize, n: usize, k: usize) -> KernelMetrics {
+        e.submit(&mut e.lock_context(), Workload::Gemm { m, n, k })
+            .expect("gemm workloads are infallible")
+            .into_kernel()
+    }
+
     #[test]
     fn deterministic_runs() {
         let e = engine();
@@ -628,8 +964,8 @@ mod tests {
             cycles: 500,
             bytes: 4096,
         };
-        let a = e.run(&k).unwrap();
-        let b = e.run(&k).unwrap();
+        let a = launch(&e, &k).unwrap();
+        let b = launch(&e, &k).unwrap();
         assert_eq!(a, b);
     }
 
@@ -640,19 +976,88 @@ mod tests {
         // atomic hotspots are renumbering/order sensitive.
         let k = Windowed { blocks: 320 };
         let spec = GpuSpec::quadro_p6000();
-        let serial = Engine::new(spec.clone())
-            .with_sim_threads(1)
-            .run(&k)
-            .unwrap();
+        let at = |b: EngineBuilder| launch(&b.build().unwrap(), &k).unwrap();
+        let serial = at(Engine::builder(spec.clone()).sim_threads(1));
         assert!(serial.l2_hits > 0, "probe kernel must exercise the cache");
         assert!(serial.atomic_ops > 0, "probe kernel must exercise atomics");
-        for threads in [2, 3, 8, 0] {
-            let m = Engine::new(spec.clone())
-                .with_sim_threads(threads)
-                .run(&k)
-                .unwrap();
+        for threads in [2, 3, 8] {
+            let m = at(Engine::builder(spec.clone()).sim_threads(threads));
             assert_eq!(m, serial, "thread count {threads} changed the result");
         }
+        let auto = at(Engine::builder(spec.clone()).sim_threads_auto());
+        assert_eq!(auto, serial, "auto worker count changed the result");
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let spec = GpuSpec::quadro_p6000();
+        // Zero is the deprecated setters' auto sentinel, not a worker count.
+        let err = Engine::builder(spec.clone()).sim_threads(0).build();
+        assert!(
+            matches!(err, Err(GpuError::InvalidConfig { ref reason })
+                if reason.contains("sim_threads_auto")),
+            "{err:?}"
+        );
+        let err = Engine::builder(spec.clone())
+            .sim_threads(MAX_SIM_THREADS + 1)
+            .build();
+        assert!(
+            matches!(err, Err(GpuError::InvalidConfig { ref reason })
+                if reason.contains("ceiling")),
+            "{err:?}"
+        );
+        // Valid explicit and auto configurations build.
+        assert_eq!(
+            Engine::builder(spec.clone())
+                .sim_threads(3)
+                .build()
+                .unwrap()
+                .sim_threads(),
+            3
+        );
+        assert_eq!(
+            Engine::builder(spec)
+                .sim_threads_auto()
+                .build()
+                .unwrap()
+                .sim_threads(),
+            0
+        );
+    }
+
+    #[test]
+    fn submit_matches_specialized_paths() {
+        // One typed entry point, three workload shapes: results must be
+        // identical to what the per-shape internals produce.
+        let e = engine();
+        let k = Windowed { blocks: 96 };
+        let mut ctx = RunContext::new();
+        let via_submit = e
+            .submit(&mut ctx, Workload::Kernel(&k))
+            .unwrap()
+            .into_kernel();
+        assert_eq!(via_submit, launch(&e, &k).unwrap());
+
+        let g = e
+            .submit(
+                &mut ctx,
+                Workload::Gemm {
+                    m: 256,
+                    n: 32,
+                    k: 64,
+                },
+            )
+            .unwrap();
+        assert!(g.as_kernel().is_some());
+        assert!(g.as_transfer().is_none());
+        assert!(g.time_ms() > 0.0);
+
+        let t = e
+            .submit(&mut ctx, Workload::Transfer { bytes: 1 << 20 })
+            .unwrap()
+            .into_transfer();
+        assert_eq!(t.bytes, 1 << 20);
+        assert!(t.time_ms > 0.0);
     }
 
     #[test]
@@ -680,33 +1085,45 @@ mod tests {
         // four phases must sum to the kernel's elapsed cycles.
         let e = engine();
         let runs = [
-            e.run(&Uniform {
-                blocks: 64,
-                warps: 4,
-                cycles: 50_000,
-                bytes: 64,
-            })
+            launch(
+                &e,
+                &Uniform {
+                    blocks: 64,
+                    warps: 4,
+                    cycles: 50_000,
+                    bytes: 64,
+                },
+            )
             .unwrap(),
-            e.run(&Uniform {
-                blocks: 64,
-                warps: 1,
-                cycles: 1,
-                bytes: 1 << 20,
-            })
+            launch(
+                &e,
+                &Uniform {
+                    blocks: 64,
+                    warps: 1,
+                    cycles: 1,
+                    bytes: 1 << 20,
+                },
+            )
             .unwrap(),
-            e.run(&HotAtomic {
-                blocks: 64,
-                per_block: 10_000,
-            })
+            launch(
+                &e,
+                &HotAtomic {
+                    blocks: 64,
+                    per_block: 10_000,
+                },
+            )
             .unwrap(),
-            e.run(&Uniform {
-                blocks: 1,
-                warps: 1,
-                cycles: 1,
-                bytes: 0,
-            })
+            launch(
+                &e,
+                &Uniform {
+                    blocks: 1,
+                    warps: 1,
+                    cycles: 1,
+                    bytes: 0,
+                },
+            )
             .unwrap(),
-            e.run_gemm(512, 64, 128),
+            gemm(&e, 512, 64, 128),
         ];
         for m in &runs {
             assert_eq!(
@@ -728,35 +1145,41 @@ mod tests {
     #[test]
     fn traces_are_byte_identical_across_thread_counts() {
         let spec = GpuSpec::quadro_p6000();
-        let trace_of = |threads: usize| {
+        let trace_of = |threads: Option<usize>| {
             let tracer = std::sync::Arc::new(crate::trace::TraceRecorder::new());
-            let e = Engine::new(spec.clone())
-                .with_sim_threads(threads)
-                .with_tracer(std::sync::Arc::clone(&tracer));
-            e.run(&Windowed { blocks: 320 }).unwrap();
-            e.run_gemm(256, 32, 64);
-            e.run_transfer(1 << 20);
+            let b = Engine::builder(spec.clone()).tracer(std::sync::Arc::clone(&tracer));
+            let b = match threads {
+                Some(n) => b.sim_threads(n),
+                None => b.sim_threads_auto(),
+            };
+            let e = b.build().unwrap();
+            launch(&e, &Windowed { blocks: 320 }).unwrap();
+            gemm(&e, 256, 32, 64);
+            e.submit(&mut e.lock_context(), Workload::Transfer { bytes: 1 << 20 })
+                .unwrap();
             (tracer.to_chrome_json(), tracer.flame_report())
         };
-        let serial = trace_of(1);
+        let serial = trace_of(Some(1));
         assert!(serial.0.contains("\"traceEvents\""));
-        for threads in [2, 4, 8, 0] {
-            assert_eq!(trace_of(threads), serial, "threads {threads}");
+        for threads in [Some(2), Some(4), Some(8), None] {
+            assert_eq!(trace_of(threads), serial, "threads {threads:?}");
         }
         // Run-to-run stability at a fixed thread count too.
-        assert_eq!(trace_of(4), trace_of(4));
+        assert_eq!(trace_of(Some(4)), trace_of(Some(4)));
     }
 
     #[test]
     fn untraced_engine_records_nothing() {
         let e = engine();
         assert!(e.tracer().is_none());
-        let m = e.run(&Windowed { blocks: 32 }).unwrap();
+        let m = launch(&e, &Windowed { blocks: 32 }).unwrap();
         // Tracing off must not change metrics vs a traced engine.
         let tracer = std::sync::Arc::new(crate::trace::TraceRecorder::new());
-        let traced =
-            Engine::new(GpuSpec::quadro_p6000()).with_tracer(std::sync::Arc::clone(&tracer));
-        let mt = traced.run(&Windowed { blocks: 32 }).unwrap();
+        let traced = Engine::builder(GpuSpec::quadro_p6000())
+            .tracer(std::sync::Arc::clone(&tracer))
+            .build()
+            .unwrap();
+        let mt = launch(&traced, &Windowed { blocks: 32 }).unwrap();
         assert_eq!(m, mt, "tracing must be observation-only");
         assert!(!tracer.is_empty());
     }
@@ -767,23 +1190,29 @@ mod tests {
         // not leak state into a repeated launch.
         let e = engine();
         let k = Windowed { blocks: 200 };
-        let first = e.run(&k).unwrap();
-        e.run(&Uniform {
-            blocks: 70,
-            warps: 3,
-            cycles: 123,
-            bytes: 512,
-        })
+        let first = launch(&e, &k).unwrap();
+        launch(
+            &e,
+            &Uniform {
+                blocks: 70,
+                warps: 3,
+                cycles: 123,
+                bytes: 512,
+            },
+        )
         .unwrap();
-        e.run(&HotAtomic {
-            blocks: 60,
-            per_block: 50,
-        })
+        launch(
+            &e,
+            &HotAtomic {
+                blocks: 60,
+                per_block: 50,
+            },
+        )
         .unwrap();
-        let again = e.run(&k).unwrap();
+        let again = launch(&e, &k).unwrap();
         assert_eq!(first, again);
         // A clone shares the context and still reproduces the result.
-        assert_eq!(e.clone().run(&k).unwrap(), first);
+        assert_eq!(launch(&e.clone(), &k).unwrap(), first);
     }
 
     #[test]
@@ -791,32 +1220,44 @@ mod tests {
         let e = engine();
         let k = Windowed { blocks: 128 };
         let mut ctx = RunContext::new();
-        let via_fresh = e.run_in(&mut ctx, &k).unwrap();
-        let via_engine = e.run(&k).unwrap();
+        let via_fresh = e
+            .submit(&mut ctx, Workload::Kernel(&k))
+            .unwrap()
+            .into_kernel();
+        let via_engine = launch(&e, &k).unwrap();
         assert_eq!(via_fresh, via_engine);
         // Reusing the explicit context is also transparent.
-        assert_eq!(e.run_in(&mut ctx, &k).unwrap(), via_fresh);
+        assert_eq!(
+            e.submit(&mut ctx, Workload::Kernel(&k))
+                .unwrap()
+                .into_kernel(),
+            via_fresh
+        );
     }
 
     #[test]
     fn more_work_takes_longer() {
         let e = engine();
-        let small = e
-            .run(&Uniform {
+        let small = launch(
+            &e,
+            &Uniform {
                 blocks: 30,
                 warps: 2,
                 cycles: 1_000,
                 bytes: 0,
-            })
-            .unwrap();
-        let big = e
-            .run(&Uniform {
+            },
+        )
+        .unwrap();
+        let big = launch(
+            &e,
+            &Uniform {
                 blocks: 300,
                 warps: 2,
                 cycles: 1_000,
                 bytes: 0,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert!(big.elapsed_cycles > small.elapsed_cycles);
     }
 
@@ -824,22 +1265,26 @@ mod tests {
     fn blocks_spread_across_sms() {
         let e = engine();
         // 30 identical blocks on 30 SMs should take about one block's time.
-        let one = e
-            .run(&Uniform {
+        let one = launch(
+            &e,
+            &Uniform {
                 blocks: 1,
                 warps: 1,
                 cycles: 10_000,
                 bytes: 0,
-            })
-            .unwrap();
-        let thirty = e
-            .run(&Uniform {
+            },
+        )
+        .unwrap();
+        let thirty = launch(
+            &e,
+            &Uniform {
                 blocks: 30,
                 warps: 1,
                 cycles: 10_000,
                 bytes: 0,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert!(
             thirty.elapsed_cycles < one.elapsed_cycles * 2,
             "30 blocks must run concurrently: {} vs {}",
@@ -851,15 +1296,17 @@ mod tests {
     #[test]
     fn imbalance_lowers_sm_efficiency() {
         let e = engine();
-        let balanced = e
-            .run(&Uniform {
+        let balanced = launch(
+            &e,
+            &Uniform {
                 blocks: 60,
                 warps: 1,
                 cycles: 10_000,
                 bytes: 0,
-            })
-            .unwrap();
-        let skewed = e.run(&Imbalanced { blocks: 60 }).unwrap();
+            },
+        )
+        .unwrap();
+        let skewed = launch(&e, &Imbalanced { blocks: 60 }).unwrap();
         assert!(
             skewed.sm_efficiency < balanced.sm_efficiency * 0.5,
             "skewed {} vs balanced {}",
@@ -871,18 +1318,22 @@ mod tests {
     #[test]
     fn atomic_hotspot_bounds_kernel() {
         let e = engine();
-        let cold = e
-            .run(&HotAtomic {
+        let cold = launch(
+            &e,
+            &HotAtomic {
                 blocks: 1,
                 per_block: 10,
-            })
-            .unwrap();
-        let hot = e
-            .run(&HotAtomic {
+            },
+        )
+        .unwrap();
+        let hot = launch(
+            &e,
+            &HotAtomic {
                 blocks: 60,
                 per_block: 1_000,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert_eq!(hot.atomic_ops, 60_000);
         assert!(hot.atomic_serialization_cycles > 0);
         // 60k serialized atomics must dominate elapsed time.
@@ -906,7 +1357,7 @@ mod tests {
             cycles: 1,
             bytes: 400_000,
         };
-        let m = e.run(&k).unwrap();
+        let m = launch(&e, &k).unwrap();
         let min_cycles = (m.dram_bytes() as f64 / e.spec().dram_bytes_per_cycle()) as u64;
         assert!(m.elapsed_cycles >= min_cycles);
         assert!(m.dram_read_bytes >= 256 * 4 * 400_000 - e.spec().line_bytes as u64 * 1024);
@@ -920,8 +1371,8 @@ mod tests {
             cycles: 2_000,
             bytes: 65_536,
         };
-        let p = Engine::new(GpuSpec::quadro_p6000()).run(&k).unwrap();
-        let v = Engine::new(GpuSpec::tesla_v100()).run(&k).unwrap();
+        let p = launch(&Engine::new(GpuSpec::quadro_p6000()), &k).unwrap();
+        let v = launch(&Engine::new(GpuSpec::tesla_v100()), &k).unwrap();
         assert!(
             v.time_ms < p.time_ms,
             "V100 ({} ms) must outrun P6000 ({} ms)",
@@ -933,8 +1384,8 @@ mod tests {
     #[test]
     fn gemm_costs_scale_with_flops() {
         let e = engine();
-        let small = e.run_gemm(1000, 16, 16);
-        let big = e.run_gemm(1000, 256, 256);
+        let small = gemm(&e, 1000, 16, 16);
+        let big = gemm(&e, 1000, 256, 256);
         // 256x the FLOPs; launch overhead damps the ratio at this size.
         assert!(big.time_ms > small.time_ms * 4.0);
         assert!(small.sm_efficiency > 0.5);
@@ -949,53 +1400,61 @@ mod tests {
             cycles: 1,
             bytes: 0,
         };
-        assert!(e.run(&k).is_err());
+        assert!(launch(&e, &k).is_err());
     }
 
     #[test]
     fn limiter_classification() {
         let e = engine();
         // Tiny kernel: launch-bound.
-        let tiny = e
-            .run(&Uniform {
+        let tiny = launch(
+            &e,
+            &Uniform {
                 blocks: 1,
                 warps: 1,
                 cycles: 10,
                 bytes: 0,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert_eq!(tiny.limiter, crate::metrics::Limiter::LaunchOverhead);
         // Pure compute: SM-time-bound.
-        let compute = e
-            .run(&Uniform {
+        let compute = launch(
+            &e,
+            &Uniform {
                 blocks: 600,
                 warps: 8,
                 cycles: 50_000,
                 bytes: 0,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert_eq!(compute.limiter, crate::metrics::Limiter::SmTime);
         // Atomic hammer: atomic-hotspot-bound.
-        let hot = e
-            .run(&HotAtomic {
+        let hot = launch(
+            &e,
+            &HotAtomic {
                 blocks: 60,
                 per_block: 5_000,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert_eq!(hot.limiter, crate::metrics::Limiter::AtomicHotspot);
     }
 
     #[test]
     fn launch_overhead_floor() {
         let e = engine();
-        let m = e
-            .run(&Uniform {
+        let m = launch(
+            &e,
+            &Uniform {
                 blocks: 1,
                 warps: 1,
                 cycles: 1,
                 bytes: 0,
-            })
-            .unwrap();
+            },
+        )
+        .unwrap();
         assert!(m.elapsed_cycles >= e.spec().kernel_launch_cycles);
     }
 }

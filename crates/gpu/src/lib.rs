@@ -29,20 +29,24 @@ pub mod engine;
 pub mod kernel;
 pub mod metrics;
 pub mod spec;
+pub mod stream;
 pub mod trace;
 pub mod transfer;
 
 pub use context::RunContext;
 pub use device_memory::DeviceMemory;
-pub use engine::{parse_sim_threads, Engine, MAX_SIM_THREADS};
+pub use engine::{
+    parse_sim_threads, Engine, EngineBuilder, Workload, WorkloadMetrics, MAX_SIM_THREADS,
+};
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
 pub use metrics::{KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
 pub use spec::GpuSpec;
+pub use stream::{EventId, OpSpan, StreamId, StreamReport, StreamSim};
 pub use trace::{ArgValue, SpanKind, TraceEvent, TraceRecorder};
 pub use transfer::TransferMetrics;
 
-/// Errors produced when a kernel's launch configuration violates the
-/// simulated device's limits.
+/// Errors produced by the simulated device: invalid launch configurations,
+/// invalid engine configurations, and stream-scheduling faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GpuError {
     /// `threads_per_block` exceeds the device maximum or is zero.
@@ -61,6 +65,28 @@ pub enum GpuError {
     },
     /// The grid is empty (zero blocks).
     EmptyGrid,
+    /// An [`EngineBuilder`] option (or environment override) is invalid.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
+    /// An operation referenced a stream id this simulator never issued.
+    UnknownStream {
+        /// The offending stream id.
+        id: usize,
+    },
+    /// An operation referenced an event id this simulator never issued.
+    UnknownEvent {
+        /// The offending event id.
+        id: usize,
+    },
+    /// The stream schedule cannot make progress: every remaining stream
+    /// head waits on an event whose `record_event` never becomes
+    /// schedulable (a wait-before-record cycle).
+    StreamDeadlock {
+        /// One blocked stream id (the lowest, for determinism).
+        stream: usize,
+    },
 }
 
 impl core::fmt::Display for GpuError {
@@ -76,6 +102,18 @@ impl core::fmt::Display for GpuError {
                 )
             }
             GpuError::EmptyGrid => write!(f, "kernel launched with an empty grid"),
+            GpuError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            GpuError::UnknownStream { id } => write!(f, "unknown stream id {id}"),
+            GpuError::UnknownEvent { id } => write!(f, "unknown event id {id}"),
+            GpuError::StreamDeadlock { stream } => {
+                write!(
+                    f,
+                    "stream schedule deadlocked: stream {stream} waits on an event \
+                     that can never be recorded"
+                )
+            }
         }
     }
 }

@@ -167,6 +167,13 @@ impl GpuSpec {
         cycles as f64 / (self.clock_ghz * 1e6)
     }
 
+    /// Converts milliseconds to core-clock cycles (rounded to nearest);
+    /// the inverse of [`GpuSpec::cycles_to_ms`] used to place transfers
+    /// and serving deadlines on the cycle-granular simulated clock.
+    pub fn ms_to_cycles(&self, ms: f64) -> u64 {
+        (ms * self.clock_ghz * 1e6).round() as u64
+    }
+
     /// Number of L2 sets implied by capacity, ways and line size.
     pub fn l2_sets(&self) -> usize {
         (self.l2_bytes / self.line_bytes / self.l2_ways).max(1)
@@ -209,5 +216,7 @@ mod tests {
         assert!(s.dram_bytes_per_cycle() > 200.0);
         assert!(s.l2_sets() >= 1024);
         assert!((s.cycles_to_ms(1_506_000) - 1.0).abs() < 1e-9);
+        assert_eq!(s.ms_to_cycles(1.0), 1_506_000);
+        assert_eq!(s.ms_to_cycles(s.cycles_to_ms(12_345)), 12_345);
     }
 }

@@ -1,0 +1,777 @@
+//! Simulated CUDA-style streams and events on the simulated clock.
+//!
+//! The serial [`Engine`] answers "how long does this kernel take alone?";
+//! this module answers "how long does a *mix* take when issued onto
+//! concurrent streams?" — the question serving workloads ask. A
+//! [`StreamSim`] borrows an engine, prices every enqueued [`Workload`]
+//! through the engine's deterministic cost model at enqueue time, and then
+//! schedules the priced ops with a serial discrete-event loop that models
+//! the overlap machinery of a real device:
+//!
+//! - **Per-stream FIFO**: ops on one stream execute in enqueue order,
+//!   never overlapping each other.
+//! - **Copy/compute overlap**: transfers occupy a single copy engine
+//!   (serialized among themselves, like one DMA engine per direction-less
+//!   PCIe model), while kernels occupy SMs — a copy and a kernel on
+//!   different streams proceed concurrently.
+//! - **SM-capacity arbitration**: a kernel occupies
+//!   `min(num_blocks, num_sms)` SM slots for its whole duration. Kernels
+//!   whose combined demand fits co-reside; a kernel that does not fit
+//!   waits for slots to free (big launches serialize, small ones pack).
+//! - **Events**: [`StreamSim::record_event`] marks a point in one
+//!   stream's FIFO; [`StreamSim::wait_event`] gates another stream on it
+//!   (cross-stream dependencies without coupling whole streams).
+//!
+//! Scheduling is greedy earliest-feasible-start: each round commits the
+//! schedulable head op with the globally minimal start time (ties break
+//! toward the lowest stream id), so the schedule is a pure function of
+//! the enqueued ops. Pricing is worker-count-invariant and the scheduler
+//! is serial, so reports and traces are byte-identical at any
+//! `GNNADVISOR_SIM_THREADS` value.
+//!
+//! With a tracer attached to the engine, the committed schedule is
+//! recorded as overlapping [`SpanKind::StreamKernel`] /
+//! [`SpanKind::StreamCopy`] spans, one chrome lane per stream.
+
+use crate::context::RunContext;
+use crate::engine::{Engine, Workload, WorkloadMetrics};
+use crate::trace::{ArgValue, SpanKind, TraceEvent, STREAM_TRACK_BASE};
+use crate::{GpuError, Result};
+
+/// Identifies one simulated stream of a [`StreamSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// The stream's index (issue order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies one simulated event of a [`StreamSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// Handle to one enqueued op: its stream and position in that stream's
+/// FIFO. Use it to look up completion times in the [`StreamReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpHandle {
+    /// The stream the op was enqueued on.
+    pub stream: StreamId,
+    /// The op's position in the stream's FIFO.
+    pub index: usize,
+}
+
+/// What one scheduled op was, as reported in [`OpSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A kernel launch or roofline GEMM occupying SM slots.
+    Kernel,
+    /// A host↔device transfer occupying the copy engine.
+    Copy,
+    /// An event record or wait (zero duration).
+    Event,
+}
+
+/// One op's placement on the committed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpan {
+    /// The stream the op ran on.
+    pub stream: StreamId,
+    /// The op's position in its stream's FIFO.
+    pub index: usize,
+    /// Display name (kernel name, `copy <n> B`, `record`/`wait`).
+    pub name: String,
+    /// What kind of op this was.
+    pub class: OpClass,
+    /// Scheduled start on the simulated clock, cycles.
+    pub start_cycles: u64,
+    /// Scheduled end on the simulated clock, cycles.
+    pub end_cycles: u64,
+}
+
+/// The committed schedule of one [`StreamSim::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Every op's placement, in commit order.
+    pub spans: Vec<OpSpan>,
+    /// End of the last op, cycles (the schedule's simulated wall time).
+    pub makespan_cycles: u64,
+    /// The makespan in milliseconds at the device clock.
+    pub makespan_ms: f64,
+    /// Total cycles of kernel occupancy (sum over kernels of duration).
+    pub kernel_busy_cycles: u64,
+    /// Total cycles the copy engine was busy.
+    pub copy_busy_cycles: u64,
+}
+
+impl StreamReport {
+    /// The completion cycle of one enqueued op.
+    pub fn op_end(&self, handle: OpHandle) -> Option<u64> {
+        self.spans
+            .iter()
+            .find(|s| s.stream == handle.stream && s.index == handle.index)
+            .map(|s| s.end_cycles)
+    }
+}
+
+/// The priced, schedulable form of one enqueued op.
+#[derive(Debug, Clone)]
+enum OpKind {
+    /// Occupies `sm_demand` SM slots for `cycles`.
+    Kernel { cycles: u64, sm_demand: u32 },
+    /// Occupies the copy engine for `cycles`.
+    Copy { cycles: u64 },
+    /// Marks the event complete when reached in the stream's FIFO.
+    Record { event: usize },
+    /// Blocks the stream until the event completes.
+    Wait { event: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    kind: OpKind,
+    name: String,
+    /// Earliest permitted start on the simulated clock (a release time —
+    /// serving uses it to pin batches to their dispatch instants).
+    not_before: u64,
+}
+
+/// A deterministic multi-stream scheduler over one [`Engine`]. See the
+/// module docs for the model; see [`StreamSim::run`] for the output.
+#[derive(Debug)]
+pub struct StreamSim<'e> {
+    engine: &'e Engine,
+    /// Private pricing context, so enqueue-time pricing neither contends
+    /// with nor perturbs the engine's shared context users.
+    ctx: RunContext,
+    streams: Vec<Vec<Op>>,
+    /// `Some(record op issued)` per created event.
+    event_recorded: Vec<bool>,
+}
+
+impl<'e> StreamSim<'e> {
+    /// A simulator with no streams over `engine`'s cost model.
+    pub fn new(engine: &'e Engine) -> Self {
+        Self {
+            engine,
+            ctx: RunContext::new(),
+            streams: Vec::new(),
+            event_recorded: Vec::new(),
+        }
+    }
+
+    /// Creates a new, empty stream.
+    pub fn stream(&mut self) -> StreamId {
+        self.streams.push(Vec::new());
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of created streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Enqueues a workload on `stream`, pricing it through the engine
+    /// immediately (ops are priced as if alone on the device; the
+    /// scheduler arbitrates only *when* they run). Returns the op's
+    /// handle and its standalone metrics.
+    pub fn enqueue(
+        &mut self,
+        stream: StreamId,
+        workload: Workload<'_>,
+    ) -> Result<(OpHandle, WorkloadMetrics)> {
+        self.enqueue_at(stream, workload, 0)
+    }
+
+    /// [`StreamSim::enqueue`] with a release time: the op may not start
+    /// before `not_before_cycles` on the simulated clock, even if its
+    /// stream is idle earlier.
+    pub fn enqueue_at(
+        &mut self,
+        stream: StreamId,
+        workload: Workload<'_>,
+        not_before_cycles: u64,
+    ) -> Result<(OpHandle, WorkloadMetrics)> {
+        self.check_stream(stream)?;
+        let metrics = self.engine.submit_untraced(&mut self.ctx, workload)?;
+        let spec = self.engine.spec();
+        let (kind, name) = match &metrics {
+            WorkloadMetrics::Kernel(m) => (
+                OpKind::Kernel {
+                    cycles: m.elapsed_cycles,
+                    // A launch with fewer blocks than SMs leaves slots for
+                    // co-resident kernels; anything bigger owns the device.
+                    sm_demand: (m.num_blocks.min(spec.num_sms as u64) as u32).max(1),
+                },
+                m.name.clone(),
+            ),
+            WorkloadMetrics::Transfer(m) => (
+                OpKind::Copy {
+                    cycles: spec.ms_to_cycles(m.time_ms),
+                },
+                format!("copy {} B", m.bytes),
+            ),
+        };
+        let handle = self.push_op(
+            stream,
+            Op {
+                kind,
+                name,
+                not_before: not_before_cycles,
+            },
+        );
+        Ok((handle, metrics))
+    }
+
+    /// Creates an event. It completes when a [`StreamSim::record_event`]
+    /// op for it is reached in its stream's FIFO.
+    pub fn event(&mut self) -> EventId {
+        self.event_recorded.push(false);
+        EventId(self.event_recorded.len() - 1)
+    }
+
+    /// Enqueues a record op for `event` on `stream`: the event completes
+    /// once every op enqueued on `stream` before this point has finished.
+    pub fn record_event(&mut self, stream: StreamId, event: EventId) -> Result<OpHandle> {
+        self.check_stream(stream)?;
+        let recorded = self
+            .event_recorded
+            .get_mut(event.0)
+            .ok_or(GpuError::UnknownEvent { id: event.0 })?;
+        if *recorded {
+            return Err(GpuError::InvalidConfig {
+                reason: format!("event {} recorded twice", event.0),
+            });
+        }
+        *recorded = true;
+        Ok(self.push_op(
+            stream,
+            Op {
+                kind: OpKind::Record { event: event.0 },
+                name: format!("record e{}", event.0),
+                not_before: 0,
+            },
+        ))
+    }
+
+    /// Enqueues a wait op on `stream`: subsequent ops of the stream may
+    /// not start until `event` completes.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<OpHandle> {
+        self.check_stream(stream)?;
+        if event.0 >= self.event_recorded.len() {
+            return Err(GpuError::UnknownEvent { id: event.0 });
+        }
+        Ok(self.push_op(
+            stream,
+            Op {
+                kind: OpKind::Wait { event: event.0 },
+                name: format!("wait e{}", event.0),
+                not_before: 0,
+            },
+        ))
+    }
+
+    fn check_stream(&self, stream: StreamId) -> Result<()> {
+        if stream.0 < self.streams.len() {
+            Ok(())
+        } else {
+            Err(GpuError::UnknownStream { id: stream.0 })
+        }
+    }
+
+    fn push_op(&mut self, stream: StreamId, op: Op) -> OpHandle {
+        let fifo = &mut self.streams[stream.0];
+        fifo.push(op);
+        OpHandle {
+            stream,
+            index: fifo.len() - 1,
+        }
+    }
+
+    /// Schedules every enqueued op and returns the committed timeline.
+    ///
+    /// Greedy discrete-event loop: each round computes, for every
+    /// stream's head op, the earliest start satisfying (a) the stream's
+    /// FIFO, (b) the op's release time, (c) event completion for waits,
+    /// (d) copy-engine availability for transfers, and (e) SM capacity
+    /// over the op's whole duration for kernels; the globally earliest
+    /// head commits (lowest stream id on ties). Consumes the simulator —
+    /// one `StreamSim` is one schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::StreamDeadlock`] when no head is schedulable but ops
+    /// remain (every remaining head waits on an event whose record op
+    /// sits behind another blocked wait, or was never enqueued).
+    pub fn run(self) -> Result<StreamReport> {
+        let spec = self.engine.spec();
+        let num_sms = spec.num_sms;
+        let num_streams = self.streams.len();
+        let mut next_op = vec![0usize; num_streams];
+        let mut stream_ready = vec![0u64; num_streams];
+        let mut event_time: Vec<Option<u64>> = vec![None; self.event_recorded.len()];
+        let mut copy_free = 0u64;
+        // Committed kernel residencies as (start, end, sm_demand).
+        let mut resident: Vec<(u64, u64, u32)> = Vec::new();
+        let mut spans: Vec<OpSpan> = Vec::new();
+        let mut kernel_busy = 0u64;
+        let mut copy_busy = 0u64;
+        let total_ops: usize = self.streams.iter().map(Vec::len).sum();
+
+        while spans.len() < total_ops {
+            // Earliest feasible start among stream heads.
+            let mut best: Option<(u64, usize)> = None;
+            for (s, fifo) in self.streams.iter().enumerate() {
+                let Some(op) = fifo.get(next_op[s]) else {
+                    continue;
+                };
+                let dep = stream_ready[s].max(op.not_before);
+                let start = match op.kind {
+                    OpKind::Record { .. } => Some(dep),
+                    OpKind::Wait { event } => event_time[event].map(|t| dep.max(t)),
+                    OpKind::Copy { .. } => Some(dep.max(copy_free)),
+                    OpKind::Kernel { cycles, sm_demand } => Some(fit_start(
+                        &resident,
+                        num_sms,
+                        dep,
+                        sm_demand.min(num_sms),
+                        cycles,
+                    )),
+                };
+                if let Some(t) = start {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, s));
+                    }
+                }
+            }
+            let Some((start, s)) = best else {
+                let stream = (0..num_streams)
+                    .find(|&s| next_op[s] < self.streams[s].len())
+                    .expect("ops remain, so some stream is blocked");
+                return Err(GpuError::StreamDeadlock { stream });
+            };
+            // Commit the op.
+            let op = &self.streams[s][next_op[s]];
+            let (end, class) = match op.kind {
+                OpKind::Record { event } => {
+                    event_time[event] = Some(start);
+                    (start, OpClass::Event)
+                }
+                OpKind::Wait { .. } => (start, OpClass::Event),
+                OpKind::Copy { cycles, .. } => {
+                    let end = start + cycles;
+                    copy_free = end;
+                    copy_busy += cycles;
+                    (end, OpClass::Copy)
+                }
+                OpKind::Kernel { cycles, sm_demand } => {
+                    let end = start + cycles;
+                    resident.push((start, end, sm_demand.min(num_sms)));
+                    kernel_busy += cycles;
+                    (end, OpClass::Kernel)
+                }
+            };
+            spans.push(OpSpan {
+                stream: StreamId(s),
+                index: next_op[s],
+                name: op.name.clone(),
+                class,
+                start_cycles: start,
+                end_cycles: end,
+            });
+            stream_ready[s] = end;
+            next_op[s] += 1;
+        }
+
+        let makespan_cycles = spans.iter().map(|s| s.end_cycles).max().unwrap_or(0);
+        let report = StreamReport {
+            makespan_cycles,
+            makespan_ms: spec.cycles_to_ms(makespan_cycles),
+            kernel_busy_cycles: kernel_busy,
+            copy_busy_cycles: copy_busy,
+            spans,
+        };
+        if let Some(tracer) = self.engine.tracer() {
+            let events: Vec<TraceEvent> = report
+                .spans
+                .iter()
+                .filter(|span| span.class != OpClass::Event)
+                .map(|span| TraceEvent {
+                    kind: match span.class {
+                        OpClass::Copy => SpanKind::StreamCopy,
+                        _ => SpanKind::StreamKernel,
+                    },
+                    name: span.name.clone(),
+                    start_cycles: span.start_cycles,
+                    dur_cycles: span.end_cycles - span.start_cycles,
+                    track: STREAM_TRACK_BASE + span.stream.0 as u32,
+                    args: vec![
+                        ("stream", ArgValue::Int(span.stream.0 as u64)),
+                        ("cycles", ArgValue::Int(span.end_cycles - span.start_cycles)),
+                    ],
+                    counter: false,
+                })
+                .collect();
+            tracer.record_stream_schedule(events, makespan_cycles);
+        }
+        Ok(report)
+    }
+}
+
+/// Earliest start `>= after` at which `demand` SM slots stay free for the
+/// whole `[start, start + dur)` window, given the committed residencies.
+/// Candidates are `after` and every committed end after it; the window
+/// check also probes every committed start inside the window, so a
+/// returned start never overcommits the device at any instant.
+fn fit_start(resident: &[(u64, u64, u32)], num_sms: u32, after: u64, demand: u32, dur: u64) -> u64 {
+    let mut candidates: Vec<u64> = resident
+        .iter()
+        .map(|&(_, end, _)| end)
+        .filter(|&end| end > after)
+        .collect();
+    candidates.push(after);
+    candidates.sort_unstable();
+    candidates.dedup();
+    'candidate: for &t in &candidates {
+        let window_end = t + dur;
+        let mut probes: Vec<u64> = vec![t];
+        probes.extend(
+            resident
+                .iter()
+                .map(|&(start, _, _)| start)
+                .filter(|&start| start > t && start < window_end),
+        );
+        for &x in &probes {
+            let used: u32 = resident
+                .iter()
+                .filter(|&&(start, end, _)| start <= x && end > x)
+                .map(|&(_, _, slots)| slots)
+                .sum();
+            if used + demand > num_sms {
+                continue 'candidate;
+            }
+        }
+        return t;
+    }
+    unreachable!("the device is empty after the last committed end")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+    use crate::trace::TraceRecorder;
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        Engine::new(GpuSpec::quadro_p6000())
+    }
+
+    /// A GEMM sized to `blocks` thread blocks (the roofline model assigns
+    /// one block per 64 rows), for controlling SM demand.
+    fn gemm_with_blocks(blocks: usize) -> Workload<'static> {
+        Workload::Gemm {
+            m: blocks * 64,
+            n: 64,
+            k: 256,
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_stream() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let s = sim.stream();
+        let (a, _) = sim.enqueue(s, gemm_with_blocks(4)).unwrap();
+        let (b, _) = sim.enqueue(s, gemm_with_blocks(4)).unwrap();
+        let (c, _) = sim
+            .enqueue(s, Workload::Transfer { bytes: 1 << 20 })
+            .unwrap();
+        let report = sim.run().unwrap();
+        // Ops on one stream execute in order, back to back.
+        let ends: Vec<u64> = [a, b, c]
+            .iter()
+            .map(|&h| report.op_end(h).unwrap())
+            .collect();
+        assert!(ends[0] < ends[1] && ends[1] < ends[2]);
+        let spans = &report.spans;
+        assert_eq!(spans.len(), 3);
+        assert!(spans[1].start_cycles >= spans[0].end_cycles);
+        assert!(spans[2].start_cycles >= spans[1].end_cycles);
+    }
+
+    #[test]
+    fn copy_and_compute_overlap_across_streams() {
+        let e = engine();
+        // Serialized: one stream runs copy then kernel.
+        let mut serial = StreamSim::new(&e);
+        let s = serial.stream();
+        serial
+            .enqueue(s, Workload::Transfer { bytes: 64 << 20 })
+            .unwrap();
+        serial.enqueue(s, gemm_with_blocks(30)).unwrap();
+        let serial = serial.run().unwrap();
+
+        // Overlapped: copy and kernel on independent streams.
+        let mut overlap = StreamSim::new(&e);
+        let s0 = overlap.stream();
+        let s1 = overlap.stream();
+        overlap
+            .enqueue(s0, Workload::Transfer { bytes: 64 << 20 })
+            .unwrap();
+        overlap.enqueue(s1, gemm_with_blocks(30)).unwrap();
+        let overlap = overlap.run().unwrap();
+
+        assert!(
+            overlap.makespan_cycles < serial.makespan_cycles,
+            "copy/compute overlap must shorten the makespan: {} vs {}",
+            overlap.makespan_cycles,
+            serial.makespan_cycles
+        );
+        // The overlapped makespan is the max of the two ops, not the sum.
+        let longest = serial
+            .spans
+            .iter()
+            .map(|s| s.end_cycles - s.start_cycles)
+            .max()
+            .unwrap();
+        assert_eq!(overlap.makespan_cycles, longest);
+    }
+
+    #[test]
+    fn copies_serialize_on_the_copy_engine() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let s0 = sim.stream();
+        let s1 = sim.stream();
+        let (a, _) = sim
+            .enqueue(s0, Workload::Transfer { bytes: 32 << 20 })
+            .unwrap();
+        let (b, _) = sim
+            .enqueue(s1, Workload::Transfer { bytes: 32 << 20 })
+            .unwrap();
+        let report = sim.run().unwrap();
+        let (a_span, b_span) = (
+            report.spans.iter().find(|s| s.stream == a.stream).unwrap(),
+            report.spans.iter().find(|s| s.stream == b.stream).unwrap(),
+        );
+        // One copy engine: the second transfer starts when the first ends.
+        assert_eq!(b_span.start_cycles, a_span.end_cycles);
+    }
+
+    #[test]
+    fn small_kernels_co_reside_big_kernels_serialize() {
+        let e = engine();
+        // Two full-device kernels (30 blocks = 30 SMs on the P6000).
+        let mut big = StreamSim::new(&e);
+        let (b0, b1) = (big.stream(), big.stream());
+        let (_, m) = big.enqueue(b0, gemm_with_blocks(30)).unwrap();
+        big.enqueue(b1, gemm_with_blocks(30)).unwrap();
+        let big = big.run().unwrap();
+        let one = m.into_kernel().elapsed_cycles;
+        assert_eq!(
+            big.makespan_cycles,
+            2 * one,
+            "full-device kernels must serialize"
+        );
+
+        // Two one-block kernels fit side by side.
+        let mut small = StreamSim::new(&e);
+        let (s0, s1) = (small.stream(), small.stream());
+        let (_, m) = small.enqueue(s0, gemm_with_blocks(1)).unwrap();
+        small.enqueue(s1, gemm_with_blocks(1)).unwrap();
+        let small = small.run().unwrap();
+        assert_eq!(
+            small.makespan_cycles,
+            m.into_kernel().elapsed_cycles,
+            "one-block kernels must co-reside"
+        );
+    }
+
+    #[test]
+    fn sm_capacity_is_never_overcommitted() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        // A mix of demands across four streams, with releases that tempt
+        // the scheduler into packing mistakes.
+        let demands = [20usize, 15, 10, 5, 25, 1, 30, 8];
+        for (i, &d) in demands.iter().enumerate() {
+            let s = sim.stream();
+            sim.enqueue_at(s, gemm_with_blocks(d), (i as u64) * 1_000)
+                .unwrap();
+        }
+        let report = sim.run().unwrap();
+        // At every span boundary, the sum of resident kernel demands must
+        // fit in the device's 30 SMs. A gemm named `gemm_{m}x{k}x{n}` ran
+        // `m / 64` blocks, so demand is recoverable from the span name.
+        let demand_of = |name: &str| -> u64 {
+            let m: u64 = name
+                .strip_prefix("gemm_")
+                .and_then(|rest| rest.split('x').next())
+                .and_then(|m| m.parse().ok())
+                .expect("gemm span name carries its shape");
+            (m / 64).min(30)
+        };
+        let kernels: Vec<&OpSpan> = report
+            .spans
+            .iter()
+            .filter(|s| s.class == OpClass::Kernel)
+            .collect();
+        for probe in kernels.iter().map(|s| s.start_cycles) {
+            let used: u64 = kernels
+                .iter()
+                .filter(|s| s.start_cycles <= probe && s.end_cycles > probe)
+                .map(|s| demand_of(&s.name))
+                .sum();
+            assert!(used <= 30, "overcommitted at {probe}: {used} slots");
+        }
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let producer = sim.stream();
+        let consumer = sim.stream();
+        let (prod_op, _) = sim.enqueue(producer, gemm_with_blocks(10)).unwrap();
+        let done = sim.event();
+        sim.record_event(producer, done).unwrap();
+        sim.wait_event(consumer, done).unwrap();
+        let (cons_op, _) = sim.enqueue(consumer, gemm_with_blocks(10)).unwrap();
+        let report = sim.run().unwrap();
+        let produced = report.op_end(prod_op).unwrap();
+        let consumer_span = report
+            .spans
+            .iter()
+            .find(|s| s.stream == cons_op.stream && s.index == cons_op.index)
+            .unwrap();
+        assert!(
+            consumer_span.start_cycles >= produced,
+            "consumer started at {} before the producer finished at {produced}",
+            consumer_span.start_cycles
+        );
+    }
+
+    #[test]
+    fn release_times_hold_work_back() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let s = sim.stream();
+        let (h, _) = sim.enqueue_at(s, gemm_with_blocks(2), 1_000_000).unwrap();
+        let report = sim.run().unwrap();
+        let span = report
+            .spans
+            .iter()
+            .find(|sp| sp.stream == h.stream && sp.index == h.index)
+            .unwrap();
+        assert_eq!(span.start_cycles, 1_000_000);
+    }
+
+    #[test]
+    fn wait_before_record_cycle_deadlocks() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let a = sim.stream();
+        let b = sim.stream();
+        let ea = sim.event();
+        let eb = sim.event();
+        // a waits for eb before recording ea; b waits for ea before
+        // recording eb: classic cross-wait cycle.
+        sim.wait_event(a, eb).unwrap();
+        sim.record_event(a, ea).unwrap();
+        sim.wait_event(b, ea).unwrap();
+        sim.record_event(b, eb).unwrap();
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, GpuError::StreamDeadlock { stream: 0 });
+    }
+
+    #[test]
+    fn invalid_handles_are_rejected() {
+        let e = engine();
+        let mut sim = StreamSim::new(&e);
+        let s = sim.stream();
+        let ev = sim.event();
+        let other = StreamId(7);
+        assert_eq!(
+            sim.enqueue(other, gemm_with_blocks(1)).unwrap_err(),
+            GpuError::UnknownStream { id: 7 }
+        );
+        assert_eq!(
+            sim.wait_event(s, EventId(9)).unwrap_err(),
+            GpuError::UnknownEvent { id: 9 }
+        );
+        sim.record_event(s, ev).unwrap();
+        assert!(matches!(
+            sim.record_event(s, ev).unwrap_err(),
+            GpuError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn schedule_is_identical_across_sim_thread_counts() {
+        let spec = GpuSpec::quadro_p6000();
+        let run_at = |threads: usize| {
+            let tracer = Arc::new(TraceRecorder::new());
+            let e = Engine::builder(spec.clone())
+                .sim_threads(threads)
+                .tracer(Arc::clone(&tracer))
+                .build()
+                .unwrap();
+            let mut sim = StreamSim::new(&e);
+            let s0 = sim.stream();
+            let s1 = sim.stream();
+            sim.enqueue(s0, Workload::Transfer { bytes: 8 << 20 })
+                .unwrap();
+            sim.enqueue(s0, gemm_with_blocks(12)).unwrap();
+            let ev = sim.event();
+            sim.record_event(s0, ev).unwrap();
+            sim.wait_event(s1, ev).unwrap();
+            sim.enqueue(s1, gemm_with_blocks(25)).unwrap();
+            sim.enqueue(s1, Workload::Transfer { bytes: 4 << 20 })
+                .unwrap();
+            let report = sim.run().unwrap();
+            (report, tracer.to_chrome_json())
+        };
+        let (serial_report, serial_trace) = run_at(1);
+        for threads in [2, 4] {
+            let (report, trace) = run_at(threads);
+            assert_eq!(report, serial_report, "threads {threads}");
+            assert_eq!(trace, serial_trace, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn traced_schedules_emit_overlapping_stream_spans() {
+        let tracer = Arc::new(TraceRecorder::new());
+        let e = Engine::builder(GpuSpec::quadro_p6000())
+            .tracer(Arc::clone(&tracer))
+            .build()
+            .unwrap();
+        let mut sim = StreamSim::new(&e);
+        let s0 = sim.stream();
+        let s1 = sim.stream();
+        sim.enqueue(s0, Workload::Transfer { bytes: 64 << 20 })
+            .unwrap();
+        sim.enqueue(s1, gemm_with_blocks(30)).unwrap();
+        let report = sim.run().unwrap();
+        // Pricing must not leak device-stream spans; only the committed
+        // schedule is recorded, and the clock advances by the makespan.
+        assert_eq!(tracer.clock_cycles(), report.makespan_cycles);
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.kind == SpanKind::StreamCopy));
+        assert!(events.iter().any(|e| e.kind == SpanKind::StreamKernel));
+        // The two spans overlap on the timeline (that's the point).
+        let (a, b) = (&events[0], &events[1]);
+        assert!(
+            a.start_cycles < b.start_cycles + b.dur_cycles
+                && b.start_cycles < a.start_cycles + a.dur_cycles,
+            "stream spans must overlap: {a:?} vs {b:?}"
+        );
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"cat\":\"stream_copy\""));
+        assert!(json.contains("\"cat\":\"stream_kernel\""));
+    }
+}

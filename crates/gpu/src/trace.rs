@@ -47,6 +47,11 @@ pub enum SpanKind {
     Gemm,
     /// A host↔device transfer.
     Transfer,
+    /// A kernel or GEMM scheduled on a simulated stream (placed at its
+    /// stream-scheduler start time, possibly overlapping other spans).
+    StreamKernel,
+    /// A transfer scheduled on a simulated stream's copy engine.
+    StreamCopy,
 }
 
 impl SpanKind {
@@ -60,6 +65,8 @@ impl SpanKind {
             SpanKind::CacheEpoch => "cache",
             SpanKind::Gemm => "gemm",
             SpanKind::Transfer => "transfer",
+            SpanKind::StreamKernel => "stream_kernel",
+            SpanKind::StreamCopy => "stream_copy",
         }
     }
 }
@@ -146,6 +153,11 @@ pub(crate) struct HotBlock {
 
 /// How many hotspot blocks each traced launch records.
 pub(crate) const HOTSPOTS_PER_KERNEL: usize = 4;
+
+/// First chrome `tid` used for simulated-stream lanes: stream `s` renders
+/// on `STREAM_TRACK_BASE + s`, clear of the device lane (0) and the shard
+/// lanes (`1 + shard`).
+pub(crate) const STREAM_TRACK_BASE: u32 = 32;
 
 /// An opt-in recorder of simulated-clock spans. Attach one to an engine
 /// with [`crate::Engine::with_tracer`]; it is shared (and internally
@@ -310,10 +322,26 @@ impl TraceRecorder {
         st.clock_cycles = start + metrics.elapsed_cycles;
     }
 
+    /// Records one stream-scheduled timeline: spans arrive with start
+    /// times relative to the schedule's origin (and their stream lane
+    /// already assigned); they are shifted onto the recorder's cursor,
+    /// which then advances by the schedule's makespan. Unlike the serial
+    /// device-stream spans above, these may overlap — that overlap *is*
+    /// the signal a stream trace exists to show.
+    pub(crate) fn record_stream_schedule(&self, spans: Vec<TraceEvent>, makespan_cycles: u64) {
+        let mut st = self.lock();
+        let base = st.clock_cycles;
+        for mut e in spans {
+            e.start_cycles += base;
+            st.events.push(e);
+        }
+        st.clock_cycles = base + makespan_cycles;
+    }
+
     /// Records a host↔device transfer on the device stream, converting its
     /// milliseconds to device cycles at the spec's clock.
     pub(crate) fn record_transfer(&self, metrics: &TransferMetrics, spec: &GpuSpec) {
-        let cycles = (metrics.time_ms * spec.clock_ghz * 1e6).round() as u64;
+        let cycles = spec.ms_to_cycles(metrics.time_ms);
         let mut st = self.lock();
         let start = st.clock_cycles;
         st.events.push(TraceEvent {

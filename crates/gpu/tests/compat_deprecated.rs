@@ -1,0 +1,124 @@
+//! Compatibility coverage for the deprecated `Engine` entry points.
+//!
+//! The `run`/`run_in`/`run_gemm`/`run_transfer` methods and the
+//! `with_tracer`/`with_sim_threads` setters are shims over
+//! [`Engine::submit`] and [`Engine::builder`]. This is the **only** place
+//! in the workspace that still calls them: everything else speaks the new
+//! API, so a deprecation warning anywhere outside this file is a
+//! regression (CI compiles with `-D warnings`).
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use gnnadvisor_gpu::kernel::WARP_SIZE;
+use gnnadvisor_gpu::{
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, RunContext, TraceRecorder, Workload,
+};
+
+/// A small deterministic probe kernel.
+struct Probe;
+
+impl Kernel for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+    fn grid(&self) -> GridConfig {
+        GridConfig {
+            num_blocks: 48,
+            threads_per_block: 2 * WARP_SIZE,
+            shared_mem_bytes: 0,
+        }
+    }
+    fn emit_block(&self, block_id: usize, sink: &mut BlockSink<'_>) {
+        sink.begin_warp();
+        sink.compute(300, WARP_SIZE);
+        sink.global_read(ArrayId(0), block_id as u64 * 256, 1024);
+        sink.atomic_rmw(ArrayId(1), (block_id % 5) as u64 * 4, 4, 16);
+    }
+}
+
+#[test]
+fn deprecated_run_matches_submit() {
+    let engine = Engine::new(GpuSpec::quadro_p6000());
+    let via_shim = engine.run(&Probe).expect("runs");
+    let via_submit = engine
+        .submit(&mut engine.lock_context(), Workload::Kernel(&Probe))
+        .expect("runs")
+        .into_kernel();
+    assert_eq!(via_shim, via_submit);
+}
+
+#[test]
+fn deprecated_run_in_matches_submit() {
+    let engine = Engine::new(GpuSpec::quadro_p6000());
+    let mut ctx = RunContext::new();
+    let via_shim = engine.run_in(&mut ctx, &Probe).expect("runs");
+    let via_submit = engine
+        .submit(&mut ctx, Workload::Kernel(&Probe))
+        .expect("runs")
+        .into_kernel();
+    assert_eq!(via_shim, via_submit);
+}
+
+#[test]
+fn deprecated_gemm_and_transfer_match_submit() {
+    let engine = Engine::new(GpuSpec::quadro_p6000());
+    let mut ctx = RunContext::new();
+    assert_eq!(
+        engine.run_gemm(512, 64, 128),
+        engine
+            .submit(
+                &mut ctx,
+                Workload::Gemm {
+                    m: 512,
+                    n: 64,
+                    k: 128
+                }
+            )
+            .expect("runs")
+            .into_kernel()
+    );
+    assert_eq!(
+        engine.run_transfer(1 << 22),
+        engine
+            .submit(&mut ctx, Workload::Transfer { bytes: 1 << 22 })
+            .expect("runs")
+            .into_transfer()
+    );
+}
+
+#[test]
+fn deprecated_setters_match_builder() {
+    let spec = GpuSpec::quadro_p6000();
+    // with_sim_threads(n) == builder.sim_threads(n).
+    let shim = Engine::new(spec.clone()).with_sim_threads(3);
+    let built = Engine::builder(spec.clone())
+        .sim_threads(3)
+        .build()
+        .expect("valid");
+    assert_eq!(shim.sim_threads(), built.sim_threads());
+    assert_eq!(shim.run(&Probe).unwrap(), built.run(&Probe).unwrap());
+
+    // with_tracer records the same timeline the builder-attached tracer
+    // does.
+    let record_with = |engine: Engine, tracer: Arc<TraceRecorder>| {
+        engine.run(&Probe).unwrap();
+        engine.run_gemm(256, 32, 64);
+        engine.run_transfer(1 << 20);
+        tracer.to_chrome_json()
+    };
+    let t1 = Arc::new(TraceRecorder::new());
+    let via_shim = record_with(
+        Engine::new(spec.clone()).with_tracer(Arc::clone(&t1)),
+        Arc::clone(&t1),
+    );
+    let t2 = Arc::new(TraceRecorder::new());
+    let via_builder = record_with(
+        Engine::builder(spec)
+            .tracer(Arc::clone(&t2))
+            .build()
+            .expect("valid"),
+        Arc::clone(&t2),
+    );
+    assert_eq!(via_shim, via_builder);
+}

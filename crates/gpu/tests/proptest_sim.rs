@@ -4,7 +4,33 @@ use proptest::prelude::*;
 
 use gnnadvisor_gpu::cache::SetAssocCache;
 use gnnadvisor_gpu::kernel::WARP_SIZE;
-use gnnadvisor_gpu::{ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel};
+use gnnadvisor_gpu::{
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, TransferMetrics,
+    Workload, WorkloadMetrics,
+};
+
+/// Submits a kernel launch through the engine's shared context.
+fn launch(engine: &Engine, k: &dyn Kernel) -> gnnadvisor_gpu::Result<KernelMetrics> {
+    engine
+        .submit(&mut engine.lock_context(), Workload::Kernel(k))
+        .map(WorkloadMetrics::into_kernel)
+}
+
+/// Submits a roofline GEMM through the engine's shared context.
+fn gemm(engine: &Engine, m: usize, n: usize, k: usize) -> KernelMetrics {
+    engine
+        .submit(&mut engine.lock_context(), Workload::Gemm { m, n, k })
+        .expect("gemm workloads are infallible")
+        .into_kernel()
+}
+
+/// Submits a transfer through the engine's shared context.
+fn transfer(engine: &Engine, bytes: u64) -> TransferMetrics {
+    engine
+        .submit(&mut engine.lock_context(), Workload::Transfer { bytes })
+        .expect("transfer workloads are infallible")
+        .into_transfer()
+}
 
 /// A kernel generated from a compact description: per block, a list of
 /// warps; per warp, (compute cycles, read offset, read bytes, atomics).
@@ -56,8 +82,8 @@ proptest! {
     fn engine_is_deterministic(k in arb_kernel()) {
         for spec in [GpuSpec::quadro_p6000(), GpuSpec::tesla_v100()] {
             let engine = Engine::new(spec);
-            let a = engine.run(&k).expect("runs");
-            let b = engine.run(&k).expect("runs");
+            let a = launch(&engine, &k).expect("runs");
+            let b = launch(&engine, &k).expect("runs");
             prop_assert_eq!(a, b);
         }
     }
@@ -68,7 +94,7 @@ proptest! {
     #[test]
     fn metric_conservation(k in arb_kernel()) {
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let m = engine.run(&k).expect("runs");
+        let m = launch(&engine, &k).expect("runs");
         let line = engine.spec().line_bytes as u64;
         prop_assert!(m.dram_read_bytes <= (m.l2_misses) * line);
         prop_assert!(m.elapsed_cycles >= engine.spec().kernel_launch_cycles);
@@ -90,14 +116,16 @@ proptest! {
             big.blocks.extend(tile.iter().cloned());
         }
         let spec = GpuSpec::quadro_p6000();
-        let serial = Engine::new(spec.clone())
-            .with_sim_threads(1)
-            .run(&big)
-            .expect("runs");
-        let sharded = Engine::new(spec)
-            .with_sim_threads(workers)
-            .run(&big)
-            .expect("runs");
+        let serial_engine = Engine::builder(spec.clone())
+            .sim_threads(1)
+            .build()
+            .expect("valid");
+        let serial = launch(&serial_engine, &big).expect("runs");
+        let sharded_engine = Engine::builder(spec)
+            .sim_threads(workers)
+            .build()
+            .expect("valid");
+        let sharded = launch(&sharded_engine, &big).expect("runs");
         prop_assert_eq!(serial.dram_read_bytes, sharded.dram_read_bytes);
         prop_assert_eq!(serial.dram_write_bytes, sharded.dram_write_bytes);
         prop_assert_eq!(serial.atomic_ops, sharded.atomic_ops);
@@ -109,14 +137,14 @@ proptest! {
     #[test]
     fn more_blocks_never_faster(k in arb_kernel()) {
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let base = engine.run(&k).expect("runs");
+        let base = launch(&engine, &k).expect("runs");
         let mut bigger = k.clone();
         let extra = bigger.blocks[0].clone();
         // Duplicate every block once: strictly more work on every SM.
         let blocks = bigger.blocks.clone();
         bigger.blocks.extend(blocks);
         bigger.blocks.push(extra);
-        let m = engine.run(&bigger).expect("runs");
+        let m = launch(&engine, &bigger).expect("runs");
         prop_assert!(m.elapsed_cycles >= base.elapsed_cycles,
             "{} < {}", m.elapsed_cycles, base.elapsed_cycles);
     }
@@ -142,16 +170,16 @@ proptest! {
     fn transfer_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(engine.run_transfer(lo).time_ms <= engine.run_transfer(hi).time_ms);
+        prop_assert!(transfer(&engine, lo).time_ms <= transfer(&engine, hi).time_ms);
     }
 
     /// GEMM cost grows (weakly) in every dimension.
     #[test]
     fn gemm_monotone(m in 1usize..2000, n in 1usize..256, kk in 1usize..256) {
         let engine = Engine::new(GpuSpec::quadro_p6000());
-        let base = engine.run_gemm(m, n, kk).elapsed_cycles;
-        prop_assert!(engine.run_gemm(m * 2, n, kk).elapsed_cycles >= base);
-        prop_assert!(engine.run_gemm(m, n * 2, kk).elapsed_cycles >= base);
-        prop_assert!(engine.run_gemm(m, n, kk * 2).elapsed_cycles >= base);
+        let base = gemm(&engine, m, n, kk).elapsed_cycles;
+        prop_assert!(gemm(&engine, m * 2, n, kk).elapsed_cycles >= base);
+        prop_assert!(gemm(&engine, m, n * 2, kk).elapsed_cycles >= base);
+        prop_assert!(gemm(&engine, m, n, kk * 2).elapsed_cycles >= base);
     }
 }

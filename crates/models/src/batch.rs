@@ -62,28 +62,79 @@ pub fn split_batches(graph: &Csr, component_of: &[u32], max_nodes: usize) -> Vec
             }
             end = comp_end;
         }
-        // Rebase the slice into a standalone CSR.
-        let row_ptr_parent = graph.row_ptr();
-        let base_edge = row_ptr_parent[start];
-        let row_ptr: Vec<usize> = row_ptr_parent[start..=end]
-            .iter()
-            .map(|&e| e - base_edge)
-            .collect();
-        let col_idx: Vec<NodeId> = graph.col_idx()[base_edge..row_ptr_parent[end]]
-            .iter()
-            .map(|&u| {
-                debug_assert!((start..end).contains(&(u as usize)), "cross-batch edge");
-                u - start as NodeId
-            })
-            .collect();
-        let g = Csr::from_raw(end - start, row_ptr, col_idx).expect("slice preserves invariants");
-        batches.push(Batch {
-            graph: g,
-            node_range: (start, end),
-        });
+        batches.push(slice_range(graph, start, end));
         start = end;
     }
     batches
+}
+
+/// Rebases the contiguous node slice `[start, end)` into a standalone
+/// CSR batch (valid only when no edge crosses the slice boundary).
+fn slice_range(graph: &Csr, start: usize, end: usize) -> Batch {
+    let row_ptr_parent = graph.row_ptr();
+    let base_edge = row_ptr_parent[start];
+    let row_ptr: Vec<usize> = row_ptr_parent[start..=end]
+        .iter()
+        .map(|&e| e - base_edge)
+        .collect();
+    let col_idx: Vec<NodeId> = graph.col_idx()[base_edge..row_ptr_parent[end]]
+        .iter()
+        .map(|&u| {
+            debug_assert!((start..end).contains(&(u as usize)), "cross-batch edge");
+            u - start as NodeId
+        })
+        .collect();
+    let g = Csr::from_raw(end - start, row_ptr, col_idx).expect("slice preserves invariants");
+    Batch {
+        graph: g,
+        node_range: (start, end),
+    }
+}
+
+/// Splits a block-diagonal graph into one batch **per component** — the
+/// finest split [`split_batches`] can produce. The serving layer uses
+/// this to look up each request's input graph by component id.
+///
+/// # Panics
+///
+/// Panics if `component_of.len() != graph.num_nodes()`.
+pub fn component_batches(graph: &Csr, component_of: &[u32]) -> Vec<Batch> {
+    assert_eq!(
+        component_of.len(),
+        graph.num_nodes(),
+        "one component id per node"
+    );
+    let n = graph.num_nodes();
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let c = component_of[start];
+        let mut end = start;
+        while end < n && component_of[end] == c {
+            end += 1;
+        }
+        batches.push(slice_range(graph, start, end));
+        start = end;
+    }
+    batches
+}
+
+/// Stitches independent graphs into one block-diagonal CSR (the inverse
+/// of splitting): node ids of graph *i* shift by the total size of
+/// graphs `0..i`. The dynamic batcher coalesces the graphs of one
+/// serving batch this way before pricing a single forward pass.
+pub fn concat_block_diagonal<'a>(graphs: impl IntoIterator<Item = &'a Csr>) -> Csr {
+    let mut row_ptr = vec![0usize];
+    let mut col_idx: Vec<NodeId> = Vec::new();
+    let mut node_base = 0usize;
+    let mut edge_base = 0usize;
+    for g in graphs {
+        row_ptr.extend(g.row_ptr()[1..].iter().map(|&e| e + edge_base));
+        col_idx.extend(g.col_idx().iter().map(|&u| u + node_base as NodeId));
+        node_base += g.num_nodes();
+        edge_base += g.num_edges();
+    }
+    Csr::from_raw(node_base, row_ptr, col_idx).expect("offset blocks preserve invariants")
 }
 
 /// Runs `forward` per batch and stitches outputs back into parent-node
@@ -179,5 +230,64 @@ mod tests {
     fn oversized_component_rejected() {
         let (g, comp) = dataset();
         split_batches(&g, &comp, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch budget")]
+    fn max_nodes_below_any_single_component_rejected() {
+        // A budget of one node is smaller than every component in the
+        // dataset, so even the very first component cannot fit.
+        let (g, comp) = dataset();
+        split_batches(&g, &comp, 1);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_batches() {
+        let g = Csr::from_raw(0, vec![0], vec![]).expect("valid");
+        assert!(split_batches(&g, &[], 10).is_empty());
+        assert!(component_batches(&g, &[]).is_empty());
+        let none: [&Csr; 0] = [];
+        let rejoined = concat_block_diagonal(none);
+        assert_eq!(rejoined.num_nodes(), 0);
+        assert_eq!(rejoined.num_edges(), 0);
+    }
+
+    #[test]
+    fn all_one_component_is_a_single_batch() {
+        // A path graph: one component spanning every node.
+        let n = 64usize;
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                col_idx.push((v - 1) as u32);
+            }
+            if v + 1 < n {
+                col_idx.push((v + 1) as u32);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let g = Csr::from_raw(n, row_ptr, col_idx).expect("valid");
+        let comp = vec![0u32; n];
+        let batches = split_batches(&g, &comp, n);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].node_range, (0, n));
+        assert_eq!(batches[0].graph.num_edges(), g.num_edges());
+        assert_eq!(component_batches(&g, &comp).len(), 1);
+    }
+
+    #[test]
+    fn component_split_round_trips_through_concat() {
+        let (g, comp) = dataset();
+        let parts = component_batches(&g, &comp);
+        assert!(parts.len() > 1);
+        for b in &parts {
+            let (s, e) = b.node_range;
+            assert_eq!(b.graph.num_nodes(), e - s);
+        }
+        let rejoined = concat_block_diagonal(parts.iter().map(|b| &b.graph));
+        assert_eq!(rejoined.num_nodes(), g.num_nodes());
+        assert_eq!(rejoined.row_ptr(), g.row_ptr());
+        assert_eq!(rejoined.col_idx(), g.col_idx());
     }
 }

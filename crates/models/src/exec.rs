@@ -17,7 +17,7 @@ use gnnadvisor_core::compute::{aggregate_reference, Aggregation};
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::runtime::Advisor;
 use gnnadvisor_core::Result;
-use gnnadvisor_gpu::{Engine, RunMetrics};
+use gnnadvisor_gpu::{Engine, RunMetrics, Workload};
 use gnnadvisor_graph::Csr;
 use gnnadvisor_tensor::Matrix;
 
@@ -107,7 +107,18 @@ impl<'a> ModelExec<'a> {
             (Framework::GnnAdvisor, Some(adv)) => adv.engine(),
             _ => self.engine,
         };
-        metrics.push_kernel(engine.run_gemm(rows, out_dim, in_dim));
+        let update = engine
+            .submit(
+                &mut engine.lock_context(),
+                Workload::Gemm {
+                    m: rows,
+                    n: out_dim,
+                    k: in_dim,
+                },
+            )
+            .expect("gemm workloads are infallible")
+            .into_kernel();
+        metrics.push_kernel(update);
     }
 }
 

@@ -19,7 +19,7 @@
 use gnnadvisor_core::compute::aggregate_weighted;
 use gnnadvisor_core::kernels::attention::{EdgeAttentionKernel, SegmentSoftmaxKernel};
 use gnnadvisor_core::Result;
-use gnnadvisor_gpu::{Engine, GpuSpec, RunMetrics};
+use gnnadvisor_gpu::{Engine, GpuSpec, RunMetrics, Workload};
 use gnnadvisor_graph::Csr;
 use gnnadvisor_tensor::init::xavier_uniform;
 use gnnadvisor_tensor::ops::relu_inplace;
@@ -130,8 +130,20 @@ impl Gat {
     /// Simulated cost of the attention passes (scores + softmax) on the
     /// *execution* graph.
     fn attention_cost(engine: &Engine, graph: &Csr, metrics: &mut RunMetrics) -> Result<()> {
-        metrics.push_kernel(engine.run(&EdgeAttentionKernel::new(graph))?);
-        metrics.push_kernel(engine.run(&SegmentSoftmaxKernel::new(graph))?);
+        let mut ctx = engine.lock_context();
+        metrics.push_kernel(
+            engine
+                .submit(&mut ctx, Workload::Kernel(&EdgeAttentionKernel::new(graph)))?
+                .into_kernel(),
+        );
+        metrics.push_kernel(
+            engine
+                .submit(
+                    &mut ctx,
+                    Workload::Kernel(&SegmentSoftmaxKernel::new(graph)),
+                )?
+                .into_kernel(),
+        );
         Ok(())
     }
 

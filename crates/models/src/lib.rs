@@ -25,6 +25,7 @@ pub mod gat;
 pub mod gcn;
 pub mod gin;
 pub mod sage;
+pub mod serve;
 pub mod train;
 
 pub use exec::{ForwardResult, ModelExec};
@@ -32,4 +33,5 @@ pub use gat::Gat;
 pub use gcn::Gcn;
 pub use gin::Gin;
 pub use sage::GraphSage;
+pub use serve::GcnBatchExecutor;
 pub use train::GcnTrainer;

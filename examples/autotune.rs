@@ -13,7 +13,7 @@ use gnnadvisor_repro::core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_repro::core::tuning::model;
 use gnnadvisor_repro::core::workload::group::partition_groups;
 use gnnadvisor_repro::core::RuntimeParams;
-use gnnadvisor_repro::gpu::{Engine, GpuSpec};
+use gnnadvisor_repro::gpu::{Engine, GpuSpec, Workload};
 use gnnadvisor_repro::graph::generators::{community_graph, CommunityParams};
 
 fn main() {
@@ -49,8 +49,8 @@ fn main() {
         let layout_ref = (p.use_shared && fits).then_some(&layout);
         let kernel = AdvisorKernel::new(&graph, &groups, layout_ref, 16, *p);
         engine
-            .run(&kernel)
-            .map(|m| m.time_ms)
+            .submit(&mut engine.lock_context(), Workload::Kernel(&kernel))
+            .map(|m| m.time_ms())
             .unwrap_or(f64::INFINITY)
     };
 

@@ -35,4 +35,30 @@ cmp "$trace_dir/a.json" "$trace_dir/t4.json" || {
   exit 1
 }
 
+echo "==> serve-sim smoke: report stable across runs and worker counts"
+serve() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    serve-sim --requests 32 --rate 4000 --streams 2 --scale 0.02 > "$1"
+}
+serve "$trace_dir/s_a.txt"
+serve "$trace_dir/s_b.txt"
+GNNADVISOR_SIM_THREADS=1 serve "$trace_dir/s_t1.txt"
+GNNADVISOR_SIM_THREADS=4 serve "$trace_dir/s_t4.txt"
+grep -q "latency p50" "$trace_dir/s_a.txt" || {
+  echo "FAIL: serve-sim report missing latency stats" >&2
+  exit 1
+}
+cmp "$trace_dir/s_a.txt" "$trace_dir/s_b.txt" || {
+  echo "FAIL: serve-sim report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/s_t1.txt" "$trace_dir/s_t4.txt" || {
+  echo "FAIL: serve-sim report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/s_a.txt" "$trace_dir/s_t1.txt" || {
+  echo "FAIL: serve-sim report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+
 echo "CI green."

@@ -10,14 +10,18 @@ use std::sync::Arc;
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
+use gnnadvisor_core::serving::{
+    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, ServingConfig,
+};
 use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_core::tuning::model;
 use gnnadvisor_datasets::{table1_by_name, Dataset};
 use gnnadvisor_gpu::{Engine, GpuSpec, TraceRecorder};
+use gnnadvisor_graph::generators::{batched_graph, BatchedParams};
 use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::stats::DegreeStats;
-use gnnadvisor_models::{Gat, Gcn, Gin, GraphSage, ModelExec};
+use gnnadvisor_models::{Gat, Gcn, GcnBatchExecutor, Gin, GraphSage, ModelExec};
 use gnnadvisor_tensor::init::random_features;
 
 /// Parsed command-line options.
@@ -39,6 +43,20 @@ pub struct CliOptions {
     pub num_classes: usize,
     /// Where `profile` writes its chrome://tracing JSON (`None` = don't).
     pub trace_out: Option<String>,
+    /// serve-sim: requests in the synthetic arrival trace.
+    pub requests: usize,
+    /// serve-sim: offered load, requests per second of simulated time.
+    pub rate: f64,
+    /// serve-sim: dynamic batcher's max batch size.
+    pub batch_size: usize,
+    /// serve-sim: dynamic batcher's max queueing delay, ms.
+    pub max_delay_ms: f64,
+    /// serve-sim: admission-queue capacity (arrivals beyond it are shed).
+    pub queue_cap: usize,
+    /// serve-sim: concurrent simulated streams.
+    pub streams: usize,
+    /// serve-sim: arrival-trace seed.
+    pub seed: u64,
 }
 
 impl Default for CliOptions {
@@ -52,6 +70,13 @@ impl Default for CliOptions {
             feat_dim: 96,
             num_classes: 10,
             trace_out: None,
+            requests: 64,
+            rate: 2_000.0,
+            batch_size: 8,
+            max_delay_ms: 2.0,
+            queue_cap: 64,
+            streams: 4,
+            seed: 7,
         }
     }
 }
@@ -91,6 +116,41 @@ impl CliOptions {
                         .map_err(|_| "--classes needs an integer".to_string())?
                 }
                 "--trace-out" => opts.trace_out = Some(need()?),
+                "--requests" => {
+                    opts.requests = need()?
+                        .parse()
+                        .map_err(|_| "--requests needs an integer".to_string())?
+                }
+                "--rate" => {
+                    opts.rate = need()?
+                        .parse()
+                        .map_err(|_| "--rate needs a number (requests per second)".to_string())?
+                }
+                "--batch-size" => {
+                    opts.batch_size = need()?
+                        .parse()
+                        .map_err(|_| "--batch-size needs an integer".to_string())?
+                }
+                "--max-delay-ms" => {
+                    opts.max_delay_ms = need()?
+                        .parse()
+                        .map_err(|_| "--max-delay-ms needs a number".to_string())?
+                }
+                "--queue-cap" => {
+                    opts.queue_cap = need()?
+                        .parse()
+                        .map_err(|_| "--queue-cap needs an integer".to_string())?
+                }
+                "--streams" => {
+                    opts.streams = need()?
+                        .parse()
+                        .map_err(|_| "--streams needs an integer".to_string())?
+                }
+                "--seed" => {
+                    opts.seed = need()?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -107,6 +167,27 @@ impl CliOptions {
         }
         if opts.num_classes == 0 {
             return Err("--classes must be at least 1".to_string());
+        }
+        if !(opts.rate.is_finite() && opts.rate > 0.0) {
+            return Err(format!(
+                "--rate must be a positive request rate, got {}",
+                opts.rate
+            ));
+        }
+        if opts.batch_size == 0 {
+            return Err("--batch-size must be at least 1".to_string());
+        }
+        if opts.queue_cap == 0 {
+            return Err("--queue-cap must be at least 1".to_string());
+        }
+        if opts.streams == 0 {
+            return Err("--streams must be at least 1".to_string());
+        }
+        if !(opts.max_delay_ms.is_finite() && opts.max_delay_ms >= 0.0) {
+            return Err(format!(
+                "--max-delay-ms must be non-negative, got {}",
+                opts.max_delay_ms
+            ));
         }
         Ok(opts)
     }
@@ -270,7 +351,10 @@ pub fn profile(opts: &CliOptions) -> CliResult {
     let ds = opts.load()?;
     let spec = opts.spec()?;
     let tracer = Arc::new(TraceRecorder::new());
-    let engine = Engine::new(spec.clone()).with_tracer(Arc::clone(&tracer));
+    let engine = Engine::builder(spec.clone())
+        .tracer(Arc::clone(&tracer))
+        .build()
+        .map_err(|e| e.to_string())?;
     // The traced engine must drive the advisor too: GNNAdvisor-framework
     // kernels launch on `advisor.engine()`, not the exec's engine.
     let advisor = Advisor::new(
@@ -389,6 +473,62 @@ pub fn tune(opts: &CliOptions) -> CliResult {
     ))
 }
 
+/// `serve-sim`: the multi-stream serving runtime on a synthetic Type II
+/// workload. A seeded Poisson arrival trace feeds the bounded admission
+/// queue; the dynamic batcher (max-batch / max-delay) coalesces requests
+/// into GCN inference batches that round-robin across simulated streams.
+/// Everything downstream of the seed is deterministic: the report is
+/// byte-identical across runs and across `GNNADVISOR_SIM_THREADS`.
+pub fn serve_sim(opts: &CliOptions) -> CliResult {
+    let spec = opts.spec()?;
+    // A batched Type II dataset (Section 8.1.2): many small independent
+    // graphs, the workload class served with mini-batched inference.
+    let nodes = ((40_000.0 * opts.scale) as usize).clamp(400, 40_000);
+    let (graph, components) = batched_graph(
+        &BatchedParams {
+            num_nodes: nodes,
+            num_edges: nodes * 4,
+            mean_graph_size: 40,
+            graph_size_cv: 0.4,
+        },
+        31,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut exec = GcnBatchExecutor::new(&graph, &components, opts.feat_dim, 16, opts.num_classes);
+    let arrivals = generate_arrivals(&ArrivalConfig {
+        num_requests: opts.requests,
+        mean_interarrival_ms: 1000.0 / opts.rate,
+        num_components: exec.num_components(),
+        seed: opts.seed,
+    })
+    .map_err(|e| e.to_string())?;
+    let serving = ServingConfig {
+        streams: opts.streams,
+        queue: QueuePolicy {
+            capacity: opts.queue_cap,
+        },
+        batch: BatchPolicy {
+            max_batch: opts.batch_size,
+            max_delay_ms: opts.max_delay_ms,
+        },
+    };
+    let engine = Engine::builder(spec).build().map_err(|e| e.to_string())?;
+    let report = simulate(&engine, &arrivals, &serving, &mut exec).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "serve-sim: {} requests at {} req/s over {} component graphs ({})\n\
+         batching: max {} per batch, {} ms max delay, queue capacity {}, {} streams\n\n{}",
+        opts.requests,
+        opts.rate,
+        exec.num_components(),
+        engine.spec().name,
+        opts.batch_size,
+        opts.max_delay_ms,
+        opts.queue_cap,
+        opts.streams,
+        report.render(),
+    ))
+}
+
 fn model_order(model: &str) -> Result<gnnadvisor_core::input::AggOrder, String> {
     match model {
         "gcn" | "sage" => Ok(gnnadvisor_core::input::AggOrder::UpdateThenAggregate),
@@ -426,6 +566,7 @@ COMMANDS:
     profile    a traced forward pass: phase breakdown + span report
     compare    all execution strategies on one aggregation pass
     tune       the Section 7 Modeling & Estimating pipeline
+    serve-sim  multi-stream serving runtime with dynamic batching
 
 OPTIONS:
     --dataset NAME       a Table 1 dataset (e.g. Cora, artist, DD)
@@ -436,6 +577,15 @@ OPTIONS:
     --feat-dim D         feature dim for --edge-list inputs (default 96)
     --classes C          class count for --edge-list inputs (default 10)
     --trace-out FILE     profile only: write chrome://tracing JSON here
+
+SERVE-SIM OPTIONS:
+    --requests N         arrival-trace length (default 64)
+    --rate R             offered load, requests/second (default 2000)
+    --batch-size B       dynamic batcher's max batch size (default 8)
+    --max-delay-ms D     max queueing delay before dispatch (default 2)
+    --queue-cap Q        admission-queue capacity (default 64)
+    --streams S          concurrent simulated streams (default 4)
+    --seed X             arrival-trace seed (default 7)
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -448,6 +598,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "profile" => profile(&opts),
         "compare" => compare(&opts),
         "tune" => tune(&opts),
+        "serve-sim" => serve_sim(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -575,6 +726,53 @@ mod tests {
         assert!(dispatch(&args("run --dataset Cora --gpu tpu"))
             .unwrap_err()
             .contains("unknown GPU"));
+    }
+
+    #[test]
+    fn serve_sim_report_is_deterministic() {
+        let cmd = "serve-sim --requests 32 --rate 4000 --batch-size 4 --streams 2 --scale 0.02";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "serve-sim must be byte-identical run-to-run");
+        for needle in [
+            "serving-sim report",
+            "latency p50",
+            "latency p99",
+            "throughput",
+            "requests completed",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn serve_sim_seed_changes_the_trace() {
+        let a = dispatch(&args("serve-sim --requests 32 --scale 0.02 --seed 1")).expect("runs");
+        let b = dispatch(&args("serve-sim --requests 32 --scale 0.02 --seed 2")).expect("runs");
+        assert_ne!(a, b, "different seeds must give different traces");
+    }
+
+    #[test]
+    fn serve_sim_options_validated_at_parse() {
+        assert!(CliOptions::parse(&args("--rate 0"))
+            .expect_err("zero rate")
+            .contains("--rate"));
+        assert!(CliOptions::parse(&args("--rate nan"))
+            .expect_err("nan rate")
+            .contains("--rate"));
+        assert!(CliOptions::parse(&args("--batch-size 0"))
+            .expect_err("zero batch")
+            .contains("--batch-size"));
+        assert!(CliOptions::parse(&args("--queue-cap 0"))
+            .expect_err("zero cap")
+            .contains("--queue-cap"));
+        assert!(CliOptions::parse(&args("--streams 0"))
+            .expect_err("zero streams")
+            .contains("--streams"));
+        assert!(CliOptions::parse(&args("--max-delay-ms -1"))
+            .expect_err("negative delay")
+            .contains("--max-delay-ms"));
+        assert!(CliOptions::parse(&args("--max-delay-ms 0")).is_ok());
     }
 
     #[test]

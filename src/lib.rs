@@ -13,6 +13,12 @@
 
 pub mod cli;
 
+/// The workspace's unified error enum (one variant per layer),
+/// re-exported as the facade's root error type.
+pub use gnnadvisor_core::CoreError as Error;
+/// Result alias over [`Error`].
+pub use gnnadvisor_core::Result;
+
 pub use gnnadvisor_core as core;
 pub use gnnadvisor_datasets as datasets;
 pub use gnnadvisor_gpu as gpu;
