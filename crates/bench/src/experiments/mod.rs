@@ -1,6 +1,7 @@
 //! One module per paper artifact; each exposes `run` (pure, returns a
 //! serializable result) and `print` (emits the paper-style rows).
 
+pub mod chaos;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;

@@ -9,8 +9,8 @@
 //! throughput, and the makespan ratio.
 
 use gnnadvisor_core::serving::{
-    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, ServingConfig,
-    ServingReport,
+    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy,
+    ServingConfig, ServingReport,
 };
 use gnnadvisor_gpu::Engine;
 use gnnadvisor_graph::generators::{batched_graph, BatchedParams};
@@ -82,6 +82,8 @@ fn report_for(streams: usize, cfg: &ExperimentConfig) -> ServingReport {
             max_batch: 4,
             max_delay_ms: 1.0,
         },
+        retry: RetryPolicy::default(),
+        deadline_ms: None,
     };
     let engine = Engine::builder(cfg.spec.clone())
         .build()

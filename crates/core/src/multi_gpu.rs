@@ -14,6 +14,7 @@
 //! extending the paper's locality argument across device boundaries.
 
 use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics};
+use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::{Csr, NodeId};
 
 use crate::kernels::advisor::AdvisorKernel;
@@ -70,8 +71,14 @@ impl MultiGpuRun {
 }
 
 /// Splits `0..n` into `parts` contiguous ranges with approximately equal
-/// edge counts (prefix balance over `row_ptr`).
-pub fn partition_nodes(graph: &Csr, parts: usize) -> Vec<(usize, usize)> {
+/// edge counts (prefix balance over `row_ptr`). `parts == 0` is rejected:
+/// an empty partition list would silently drop the whole graph.
+pub fn partition_nodes(graph: &Csr, parts: usize) -> Result<Vec<(usize, usize)>> {
+    if parts == 0 {
+        return Err(CoreError::InvalidParams {
+            reason: "partition_nodes needs at least 1 partition".into(),
+        });
+    }
     let n = graph.num_nodes();
     let e = graph.num_edges().max(1);
     let row_ptr = graph.row_ptr();
@@ -89,7 +96,7 @@ pub fn partition_nodes(graph: &Csr, parts: usize) -> Vec<(usize, usize)> {
         ranges.push((start, end.max(start)));
         start = end.max(start);
     }
-    ranges
+    Ok(ranges)
 }
 
 /// Runs one aggregation pass at dimensionality `dim` across the devices.
@@ -105,9 +112,23 @@ pub fn run_multi_gpu_aggregation(
         });
     }
     params.validate()?;
+    // Honor `params.renumber` the same way the single-device runtime does:
+    // permute the graph *before* partitioning, so communities land whole
+    // inside contiguous partitions and the halo shrinks.
+    let renumbered;
+    let graph = if params.renumber {
+        let r = renumber(graph, &RenumberConfig::default())?;
+        renumbered = graph.permute(&r.permutation)?;
+        &renumbered
+    } else {
+        graph
+    };
     let groups = partition_groups(graph, params.group_size)?;
-    let ranges = partition_nodes(graph, config.num_gpus);
+    let ranges = partition_nodes(graph, config.num_gpus)?;
 
+    // All simulated devices share one spec; one engine prices them all
+    // instead of rebuilding cache state per device per call.
+    let engine = Engine::new(config.spec.clone());
     let mut per_gpu = Vec::with_capacity(config.num_gpus);
     let mut halo_rows = Vec::with_capacity(config.num_gpus);
     let row_bytes = dim as u64 * 4;
@@ -130,7 +151,6 @@ pub fn run_multi_gpu_aggregation(
         }
         halo_rows.push(halo.len());
 
-        let engine = Engine::new(config.spec.clone());
         if local.is_empty() {
             per_gpu.push(KernelMetrics {
                 name: "advisor_aggregation".into(),
@@ -197,7 +217,7 @@ mod tests {
     fn partitions_tile_nodes_and_balance_edges() {
         let g = graph();
         for parts in [1, 2, 4, 7] {
-            let ranges = partition_nodes(&g, parts);
+            let ranges = partition_nodes(&g, parts).expect("non-zero parts");
             assert_eq!(ranges.len(), parts);
             assert_eq!(ranges[0].0, 0);
             assert_eq!(ranges[parts - 1].1, g.num_nodes());
@@ -285,5 +305,53 @@ mod tests {
             ..Default::default()
         };
         assert!(run_multi_gpu_aggregation(&g, 16, base_params(), &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_partitions_are_an_error_not_an_empty_tiling() {
+        // Regression: `partition_nodes(g, 0)` used to return an empty Vec,
+        // silently dropping every node from the tiling.
+        let g = graph();
+        assert!(matches!(
+            partition_nodes(&g, 0),
+            Err(CoreError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn renumber_param_is_applied_before_partitioning() {
+        // Regression: `run_multi_gpu_aggregation` used to ignore
+        // `params.renumber` entirely. Asking for renumbering must now
+        // match manually permuting the graph first — and beat not
+        // renumbering at all on a shuffled community graph.
+        let g = graph();
+        let cfg = MultiGpuConfig {
+            num_gpus: 4,
+            ..Default::default()
+        };
+        let auto = run_multi_gpu_aggregation(
+            &g,
+            32,
+            RuntimeParams {
+                renumber: true,
+                ..base_params()
+            },
+            &cfg,
+        )
+        .expect("runs");
+        let r = renumber(&g, &RenumberConfig::default()).expect("runs");
+        let ordered = g.permute(&r.permutation).expect("valid");
+        let manual = run_multi_gpu_aggregation(&ordered, 32, base_params(), &cfg).expect("runs");
+        assert_eq!(
+            auto.halo_bytes, manual.halo_bytes,
+            "renumber=true must permute exactly like the single-device runtime"
+        );
+        let ignored = run_multi_gpu_aggregation(&g, 32, base_params(), &cfg).expect("runs");
+        assert!(
+            auto.halo_bytes * 2 < ignored.halo_bytes,
+            "honored renumbering must shrink the halo: {} vs {}",
+            auto.halo_bytes,
+            ignored.halo_bytes
+        );
     }
 }

@@ -230,6 +230,96 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_flushes_every_request_alone() {
+        // max_delay_ms == 0: a waiter's deadline is its own arrival
+        // instant, so each request flushes before the next can join it —
+        // even when arrivals share a timestamp.
+        let arrivals = vec![req(0, 0.0), req(1, 0.0), req(2, 2.5)];
+        let plan = plan_batches(&arrivals, &queue(16), &policy(8, 0.0)).expect("valid");
+        assert_eq!(plan.shed, 0);
+        assert_eq!(plan.batches.len(), 3, "one batch per request");
+        for (batch, request) in plan.batches.iter().zip(&arrivals) {
+            assert_eq!(batch.requests.len(), 1);
+            assert_eq!(batch.requests[0].id, request.id);
+            assert_eq!(batch.dispatch_ms, request.arrival_ms);
+        }
+    }
+
+    #[test]
+    fn capacity_below_max_batch_caps_batches_at_capacity() {
+        // The queue can never hold max_batch waiters, so the size trigger
+        // is unreachable: batches top out at capacity and the overflow is
+        // shed, not silently wedged.
+        let arrivals: Vec<Request> = (0..10).map(|i| req(i, 0.0)).collect();
+        let plan = plan_batches(&arrivals, &queue(3), &policy(8, 4.0)).expect("valid");
+        assert_eq!(plan.shed, 7);
+        assert_eq!(plan.batches.len(), 1);
+        assert_eq!(plan.batches[0].requests.len(), 3);
+        assert_eq!(plan.batches[0].dispatch_ms, 4.0, "delay trigger flushes");
+    }
+
+    mod plan_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// For any trace and policy, dispatch instants are monotone
+            /// and every admitted request lands in exactly one batch.
+            #[test]
+            fn dispatches_are_monotone_and_partition_admissions(
+                // Deci-milliseconds: the vendored proptest only samples
+                // integer ranges.
+                arrival_deci in proptest::collection::vec(0u64..400, 0..40),
+                max_batch in 1u64..6,
+                capacity in 1u64..10,
+                delay_deci in 0u64..80,
+            ) {
+                let mut instants = arrival_deci;
+                instants.sort_unstable();
+                let arrivals: Vec<Request> = instants
+                    .iter()
+                    .enumerate()
+                    .map(|(id, &deci)| req(id, deci as f64 / 10.0))
+                    .collect();
+                let plan = plan_batches(
+                    &arrivals,
+                    &queue(capacity as usize),
+                    &policy(max_batch as usize, delay_deci as f64 / 10.0),
+                ).expect("valid policy");
+
+                let mut last = f64::NEG_INFINITY;
+                let mut seen = std::collections::HashSet::new();
+                for batch in &plan.batches {
+                    prop_assert!(!batch.requests.is_empty(), "empty batch");
+                    prop_assert!(batch.requests.len() <= max_batch as usize);
+                    prop_assert!(
+                        batch.dispatch_ms >= last,
+                        "dispatch went backwards: {} after {}",
+                        batch.dispatch_ms,
+                        last
+                    );
+                    last = batch.dispatch_ms;
+                    for r in &batch.requests {
+                        prop_assert!(
+                            seen.insert(r.id),
+                            "request {} dispatched twice",
+                            r.id
+                        );
+                        prop_assert!(batch.dispatch_ms >= r.arrival_ms);
+                    }
+                }
+                prop_assert_eq!(
+                    seen.len() as u64 + plan.shed,
+                    arrivals.len() as u64,
+                    "admitted + shed must cover the trace"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn invalid_policies_are_rejected() {
         assert!(plan_batches(&[], &queue(4), &policy(0, 1.0)).is_err());
         assert!(plan_batches(&[], &queue(0), &policy(4, 1.0)).is_err());

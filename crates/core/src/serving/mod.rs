@@ -21,19 +21,30 @@
 //!   a release time, and per-request latency is measured from arrival to
 //!   the completion of its batch's last op on the simulated clock.
 //!
+//! With a fault plan attached to the engine (see [`gnnadvisor_gpu::fault`])
+//! the device may kill a batch's ops; a [`RetryPolicy`] re-submits the
+//! batch with exponential backoff up to a bounded attempt count, and an
+//! optional per-request deadline reclassifies too-late completions. Every
+//! request lands in exactly one bucket — the report upholds
+//! `completed + shed + failed + deadline_missed == arrivals`.
+//!
 //! Everything downstream of the seed is deterministic: the report is
 //! byte-identical across runs and across `GNNADVISOR_SIM_THREADS`
-//! settings (the engine's pricing is worker-count-invariant and the
-//! stream scheduler is serial).
+//! settings (the engine's pricing is worker-count-invariant, fault
+//! verdicts are drawn on the serial enqueue path, and the stream
+//! scheduler is serial).
 
 pub mod arrivals;
 pub mod batcher;
 pub mod queue;
+pub mod retry;
 
 pub use arrivals::{generate_arrivals, ArrivalConfig, Request};
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy, DispatchedBatch, QueuePolicy};
 pub use queue::BoundedQueue;
+pub use retry::RetryPolicy;
 
+use gnnadvisor_gpu::stream::OpHandle;
 use gnnadvisor_gpu::{Engine, Kernel, StreamSim, Workload};
 
 use crate::{CoreError, Result};
@@ -91,7 +102,7 @@ pub trait BatchExecutor {
     fn plan(&mut self, batch: &DispatchedBatch) -> Result<BatchWork>;
 }
 
-/// Server shape: stream count plus the queue and batch policies.
+/// Server shape: stream count plus the queue, batch, and retry policies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingConfig {
     /// Concurrent device streams batches round-robin across.
@@ -100,15 +111,33 @@ pub struct ServingConfig {
     pub queue: QueuePolicy,
     /// Dynamic batching policy.
     pub batch: BatchPolicy,
+    /// Re-submission policy for batches whose device work faulted (the
+    /// default never retries).
+    pub retry: RetryPolicy,
+    /// Per-request latency deadline: a request whose batch completes
+    /// later than this after its arrival counts as `deadline_missed`
+    /// instead of `completed`. `None` disables the check.
+    pub deadline_ms: Option<f64>,
 }
 
 /// Aggregate latency/throughput statistics of one serving simulation.
+///
+/// Every admitted request lands in exactly one of `completed`, `failed`,
+/// or `deadline_missed`; with `shed` they partition the arrival trace:
+/// `completed + shed + failed + deadline_missed == arrivals`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
-    /// Requests that completed on the device.
+    /// Requests that completed on the device within their deadline.
     pub completed: usize,
     /// Requests rejected by the admission queue.
     pub shed: u64,
+    /// Requests whose batch exhausted its retry budget on faults.
+    pub failed: usize,
+    /// Requests served later than the configured deadline.
+    pub deadline_missed: usize,
+    /// Batch re-submissions caused by faults (not counting first
+    /// attempts).
+    pub retries: u64,
     /// Batches dispatched to the device.
     pub batches: usize,
     /// Median request latency (arrival → batch completion), ms.
@@ -119,8 +148,12 @@ pub struct ServingReport {
     pub p99_ms: f64,
     /// Mean request latency, ms.
     pub mean_ms: f64,
-    /// Completed requests per second of simulated schedule time.
+    /// All served requests (completed + deadline-missed) per second of
+    /// simulated schedule time.
     pub throughput_rps: f64,
+    /// Requests completed *within deadline* per second of simulated
+    /// schedule time — the number retries are meant to restore.
+    pub goodput_rps: f64,
     /// End of the last device op on the simulated clock, ms.
     pub makespan_ms: f64,
     /// Total SM-side busy cycles across the schedule.
@@ -138,6 +171,12 @@ impl ServingReport {
         out.push_str("serving-sim report\n");
         out.push_str(&format!("  requests completed   {}\n", self.completed));
         out.push_str(&format!("  requests shed        {}\n", self.shed));
+        out.push_str(&format!("  requests failed      {}\n", self.failed));
+        out.push_str(&format!(
+            "  deadline missed      {}\n",
+            self.deadline_missed
+        ));
+        out.push_str(&format!("  batch retries        {}\n", self.retries));
         out.push_str(&format!("  batches dispatched   {}\n", self.batches));
         out.push_str(&format!("  latency p50          {:.3} ms\n", self.p50_ms));
         out.push_str(&format!("  latency p95          {:.3} ms\n", self.p95_ms));
@@ -146,6 +185,10 @@ impl ServingReport {
         out.push_str(&format!(
             "  throughput           {:.3} req/s\n",
             self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "  goodput              {:.3} req/s\n",
+            self.goodput_rps
         ));
         out.push_str(&format!(
             "  makespan             {:.3} ms\n",
@@ -172,10 +215,27 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
+/// How one batch's retry chain ended.
+enum BatchOutcome {
+    /// Some attempt ran fault-free; its last op (if any) is the batch's
+    /// completion point. `None` means the batch planned no device ops and
+    /// completes at its dispatch instant.
+    Done(Option<OpHandle>),
+    /// Every attempt faulted; the batch's requests failed.
+    Exhausted,
+}
+
 /// Runs the full serving pipeline on the simulated device: plans batches
 /// from `arrivals`, round-robins them across `cfg.streams` streams (each
 /// batch released at its dispatch instant), executes the multi-stream
 /// schedule, and aggregates per-request latencies.
+///
+/// With a fault plan on the engine, a batch whose op faults is re-
+/// submitted on the same stream under `cfg.retry`: the retry may not
+/// start before the failed attempt's estimated end plus backoff (the
+/// stream's FIFO independently guarantees it starts after the failed
+/// ops, which burn their full priced time on the device). A batch that
+/// faults on every attempt marks its requests `failed`.
 pub fn simulate(
     engine: &Engine,
     arrivals: &[Request],
@@ -187,46 +247,92 @@ pub fn simulate(
             reason: "streams must be at least 1".into(),
         });
     }
+    cfg.retry.validate()?;
+    if let Some(d) = cfg.deadline_ms {
+        if !(d.is_finite() && d > 0.0) {
+            return Err(CoreError::Serving {
+                reason: format!("deadline_ms must be positive and finite, got {d}"),
+            });
+        }
+    }
     let plan = plan_batches(arrivals, &cfg.queue, &cfg.batch)?;
     let spec = engine.spec();
 
     let mut sim = StreamSim::new(engine);
     let streams: Vec<_> = (0..cfg.streams).map(|_| sim.stream()).collect();
-    // (batch index, completion handle): completion is the batch's last op.
-    let mut tails = Vec::with_capacity(plan.batches.len());
+    let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(plan.batches.len());
+    let mut retries = 0u64;
     for (i, batch) in plan.batches.iter().enumerate() {
         let stream = streams[i % streams.len()];
-        let release = spec.ms_to_cycles(batch.dispatch_ms);
         let work = exec.plan(batch)?;
-        let mut tail = None;
-        for op in &work.ops {
-            let workload = match op {
-                DeviceWork::Kernel(k) => Workload::Kernel(&**k),
-                DeviceWork::Gemm { m, n, k } => Workload::Gemm {
-                    m: *m,
-                    n: *n,
-                    k: *k,
-                },
-                DeviceWork::Transfer { bytes } => Workload::Transfer { bytes: *bytes },
-            };
-            let (handle, _) = sim.enqueue_at(stream, workload, release)?;
-            tail = Some(handle);
+        let mut release_ms = batch.dispatch_ms;
+        let mut outcome = BatchOutcome::Exhausted;
+        for attempt in 1..=cfg.retry.max_attempts {
+            let release = spec.ms_to_cycles(release_ms);
+            let mut tail = None;
+            let mut attempt_cycles = 0u64;
+            let mut faulted = false;
+            for op in &work.ops {
+                let workload = match op {
+                    DeviceWork::Kernel(k) => Workload::Kernel(&**k),
+                    DeviceWork::Gemm { m, n, k } => Workload::Gemm {
+                        m: *m,
+                        n: *n,
+                        k: *k,
+                    },
+                    DeviceWork::Transfer { bytes } => Workload::Transfer { bytes: *bytes },
+                };
+                let enq = sim.try_enqueue_at(stream, workload, release)?;
+                attempt_cycles += spec.ms_to_cycles(enq.metrics.time_ms());
+                if enq.fault.is_some() {
+                    // The faulted op still burns its time on the stream;
+                    // the attempt's remaining ops are never issued.
+                    faulted = true;
+                    break;
+                }
+                tail = Some(enq.handle);
+            }
+            if !faulted {
+                outcome = BatchOutcome::Done(tail);
+                break;
+            }
+            if attempt == cfg.retry.max_attempts {
+                break;
+            }
+            retries += 1;
+            release_ms =
+                spec.cycles_to_ms(release + attempt_cycles) + cfg.retry.backoff_ms(i, attempt);
         }
-        tails.push((i, tail));
+        outcomes.push(outcome);
     }
     let report = sim.run()?;
 
     let mut latencies: Vec<f64> = Vec::new();
-    for (i, tail) in tails {
+    let mut failed = 0usize;
+    let mut deadline_missed = 0usize;
+    // Schedule span for rate accounting: the last device op OR the last
+    // batch completion instant — a batch of zero device ops completes at
+    // its dispatch instant without extending the op makespan.
+    let mut span_ms = report.makespan_ms;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
         let batch = &plan.batches[i];
-        // A batch with no device ops completes at its dispatch instant.
-        let end_cycles = match tail {
-            Some(handle) => report.op_end(handle).expect("committed op has a span"),
-            None => spec.ms_to_cycles(batch.dispatch_ms),
-        };
-        let end_ms = spec.cycles_to_ms(end_cycles);
-        for request in &batch.requests {
-            latencies.push((end_ms - request.arrival_ms).max(0.0));
+        match outcome {
+            BatchOutcome::Exhausted => failed += batch.requests.len(),
+            BatchOutcome::Done(tail) => {
+                let end_cycles = match tail {
+                    Some(handle) => report.op_end(handle).expect("committed op has a span"),
+                    None => spec.ms_to_cycles(batch.dispatch_ms),
+                };
+                let end_ms = spec.cycles_to_ms(end_cycles);
+                span_ms = span_ms.max(end_ms);
+                for request in &batch.requests {
+                    let latency = (end_ms - request.arrival_ms).max(0.0);
+                    match cfg.deadline_ms {
+                        Some(d) if latency > d => deadline_missed += 1,
+                        _ => latencies.push(latency),
+                    }
+                }
+            }
         }
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -237,20 +343,30 @@ pub fn simulate(
     } else {
         latencies.iter().sum::<f64>() / completed as f64
     };
-    let throughput_rps = if report.makespan_ms > 0.0 {
-        completed as f64 * 1000.0 / report.makespan_ms
+    let served = completed + deadline_missed;
+    let throughput_rps = if span_ms > 0.0 {
+        served as f64 * 1000.0 / span_ms
+    } else {
+        0.0
+    };
+    let goodput_rps = if span_ms > 0.0 {
+        completed as f64 * 1000.0 / span_ms
     } else {
         0.0
     };
     Ok(ServingReport {
         completed,
         shed: plan.shed,
+        failed,
+        deadline_missed,
+        retries,
         batches: plan.batches.len(),
         p50_ms: percentile(&latencies, 50.0),
         p95_ms: percentile(&latencies, 95.0),
         p99_ms: percentile(&latencies, 99.0),
         mean_ms,
         throughput_rps,
+        goodput_rps,
         makespan_ms: report.makespan_ms,
         kernel_busy_cycles: report.kernel_busy_cycles,
         copy_busy_cycles: report.copy_busy_cycles,
@@ -305,6 +421,8 @@ mod tests {
                 max_batch: 8,
                 max_delay_ms: 2.0,
             },
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
         }
     }
 
@@ -376,6 +494,8 @@ mod tests {
                 max_batch: 8,
                 max_delay_ms: 4.0,
             },
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
         };
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let report = simulate(&engine, &arrivals, &cfg, &mut exec()).expect("runs");
@@ -398,5 +518,223 @@ mod tests {
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let err = simulate(&engine, &[], &config(0), &mut exec());
         assert!(matches!(err, Err(CoreError::Serving { .. })));
+    }
+
+    #[test]
+    fn invalid_retry_and_deadline_are_rejected() {
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let mut cfg = config(1);
+        cfg.retry.max_attempts = 0;
+        assert!(matches!(
+            simulate(&engine, &[], &cfg, &mut exec()),
+            Err(CoreError::Serving { .. })
+        ));
+        let mut cfg = config(1);
+        cfg.deadline_ms = Some(0.0);
+        assert!(matches!(
+            simulate(&engine, &[], &cfg, &mut exec()),
+            Err(CoreError::Serving { .. })
+        ));
+    }
+
+    /// An executor that plans no device work at all — the zero-op batch
+    /// regression case.
+    struct NoopExecutor;
+
+    impl BatchExecutor for NoopExecutor {
+        fn plan(&mut self, _batch: &DispatchedBatch) -> crate::Result<BatchWork> {
+            Ok(BatchWork::default())
+        }
+    }
+
+    #[test]
+    fn zero_op_batches_still_report_throughput() {
+        // Regression: with no device ops the stream schedule is empty
+        // (makespan 0) but requests still complete at their batches'
+        // dispatch instants; throughput must fall back to the last
+        // completion instant instead of reporting 0.
+        let arrivals = vec![
+            Request {
+                id: 0,
+                arrival_ms: 1.0,
+                component: 0,
+            },
+            Request {
+                id: 1,
+                arrival_ms: 3.0,
+                component: 0,
+            },
+        ];
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let report = simulate(&engine, &arrivals, &config(2), &mut NoopExecutor).expect("runs");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.makespan_ms, 0.0, "no device ops were scheduled");
+        // The first batch flushes at its delay deadline 1.0 + 2.0 = 3.0 ms
+        // (the deadline fires before the 3.0 ms arrival joins), and the
+        // second drains at 3.0 + 2.0 = 5.0 ms, so the rate is 2 req / 5 ms.
+        assert!(
+            (report.throughput_rps - 2.0 * 1000.0 / 5.0).abs() < 1e-6,
+            "throughput {} must use the last completion instant",
+            report.throughput_rps
+        );
+        assert_eq!(report.goodput_rps, report.throughput_rps);
+    }
+
+    /// Fault-plan fixture: a fresh engine with a uniform fault rate.
+    fn chaotic_engine(rate: f64, seed: u64, sim_threads: usize) -> Engine {
+        use gnnadvisor_gpu::{FaultConfig, FaultPlan};
+        Engine::builder(GpuSpec::quadro_p6000())
+            .sim_threads(sim_threads)
+            .fault_plan(std::sync::Arc::new(
+                FaultPlan::new(FaultConfig::uniform(rate, seed)).expect("valid rate"),
+            ))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn retries_restore_completions_under_faults() {
+        let no_retry = simulate(
+            &chaotic_engine(0.3, 13, 1),
+            &trace(),
+            &config(2),
+            &mut exec(),
+        )
+        .expect("runs");
+        assert!(
+            no_retry.failed > 0,
+            "a 30 % fault rate with no retries must fail some batches"
+        );
+        assert_eq!(no_retry.retries, 0);
+
+        let mut cfg = config(2);
+        cfg.retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 0.25,
+            seed: 13,
+        };
+        let with_retry =
+            simulate(&chaotic_engine(0.3, 13, 1), &trace(), &cfg, &mut exec()).expect("runs");
+        assert!(with_retry.retries > 0);
+        assert!(
+            with_retry.completed > no_retry.completed,
+            "retries must recover completions: {} vs {}",
+            with_retry.completed,
+            no_retry.completed
+        );
+        for r in [&no_retry, &with_retry] {
+            assert_eq!(
+                r.completed as u64 + r.shed + r.failed as u64 + r.deadline_missed as u64,
+                64,
+                "conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_reclassify_late_completions() {
+        let mut cfg = config(1);
+        cfg.deadline_ms = Some(0.5);
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let tight = simulate(&engine, &trace(), &cfg, &mut exec()).expect("runs");
+        assert!(tight.deadline_missed > 0, "0.5 ms must be missed by some");
+        assert_eq!(
+            tight.completed as u64
+                + tight.shed
+                + tight.failed as u64
+                + tight.deadline_missed as u64,
+            64
+        );
+        // Latency percentiles describe only within-deadline requests.
+        assert!(tight.p99_ms <= 0.5 + 1e-9);
+        // Goodput counts only in-deadline completions.
+        assert!(tight.goodput_rps <= tight.throughput_rps);
+
+        cfg.deadline_ms = Some(1e9);
+        let loose = simulate(&engine, &trace(), &cfg, &mut exec()).expect("runs");
+        assert_eq!(loose.deadline_missed, 0);
+        assert_eq!(loose.goodput_rps, loose.throughput_rps);
+    }
+
+    #[test]
+    fn faulted_reports_are_identical_across_runs_and_worker_counts() {
+        let mut cfg = config(3);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0.5,
+            seed: 21,
+        };
+        cfg.deadline_ms = Some(50.0);
+        let render_at = |sim_threads: usize| {
+            simulate(
+                &chaotic_engine(0.25, 21, sim_threads),
+                &trace(),
+                &cfg,
+                &mut exec(),
+            )
+            .expect("runs")
+            .render()
+        };
+        let serial = render_at(1);
+        assert_eq!(render_at(1), serial, "same seed, same report");
+        assert_eq!(render_at(4), serial, "worker count must not leak");
+    }
+
+    mod chaos_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Under any fault rate, retry budget, and deadline, every
+            /// request lands in exactly one bucket, and the report bytes
+            /// do not depend on the simulation worker count.
+            #[test]
+            fn conservation_holds_under_chaos(
+                // The vendored proptest only samples integer ranges, so
+                // fault rate and deadline are drawn as integers and mapped.
+                rate_permille in 0u64..700,
+                max_attempts in 1u64..4,
+                deadline_ms in 0u64..60,
+                seed in 0u64..1000,
+            ) {
+                let rate = rate_permille as f64 / 1000.0;
+                let max_attempts = max_attempts as usize;
+                let deadline = (deadline_ms > 0).then_some(deadline_ms as f64);
+                let arrivals = generate_arrivals(&ArrivalConfig {
+                    num_requests: 24,
+                    mean_interarrival_ms: 0.6,
+                    num_components: 3,
+                    seed,
+                }).expect("valid");
+                let mut cfg = config(2);
+                cfg.retry = RetryPolicy {
+                    max_attempts,
+                    backoff_base_ms: 0.25,
+                    seed,
+                };
+                cfg.deadline_ms = deadline;
+                let run = |sim_threads: usize| {
+                    simulate(
+                        &chaotic_engine(rate, seed, sim_threads),
+                        &arrivals,
+                        &cfg,
+                        &mut exec(),
+                    ).expect("runs")
+                };
+                let report = run(1);
+                prop_assert_eq!(
+                    report.completed as u64
+                        + report.shed
+                        + report.failed as u64
+                        + report.deadline_missed as u64,
+                    24,
+                    "conservation: {:?}",
+                    &report
+                );
+                prop_assert_eq!(run(4).render(), report.render());
+            }
+        }
     }
 }

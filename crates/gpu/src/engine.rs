@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::context::{plan_shards, RunContext, ShardSlot};
+use crate::fault::{FaultKind, FaultPlan, OpVerdict};
 use crate::kernel::{BlockSink, GridConfig, Kernel, WARP_SIZE};
 use crate::metrics::{KernelMetrics, PhaseBreakdown};
 use crate::spec::GpuSpec;
@@ -215,6 +216,7 @@ pub struct EngineBuilder {
     spec: GpuSpec,
     sim_threads: SimThreadsRequest,
     tracer: Option<Arc<TraceRecorder>>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// How the builder was asked to pick the worker count.
@@ -249,6 +251,16 @@ impl EngineBuilder {
     /// built engine is recorded on the simulated clock.
     pub fn tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a chaos schedule: every subsequent submission consumes one
+    /// op verdict from `plan` and may come back as [`GpuError::Fault`]
+    /// after burning its priced time. Clones of the engine share the plan
+    /// (like they share the run context), so a multi-stream simulation
+    /// over one engine draws from a single deterministic fault sequence.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -296,6 +308,7 @@ impl EngineBuilder {
             sim_threads,
             ctx: Arc::new(Mutex::new(RunContext::new())),
             tracer: self.tracer,
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -332,6 +345,9 @@ pub struct Engine {
     ctx: Arc<Mutex<RunContext>>,
     /// Opt-in span recorder; `None` keeps the hot path untouched.
     tracer: Option<Arc<TraceRecorder>>,
+    /// Opt-in chaos schedule; `None` keeps submissions infallible beyond
+    /// launch validation.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Engine {
@@ -357,6 +373,7 @@ impl Engine {
             sim_threads,
             ctx: Arc::new(Mutex::new(RunContext::new())),
             tracer: None,
+            fault_plan: None,
         }
     }
 
@@ -368,6 +385,7 @@ impl Engine {
             spec,
             sim_threads: SimThreadsRequest::Env,
             tracer: None,
+            fault_plan: None,
         }
     }
 
@@ -383,6 +401,11 @@ impl Engine {
     /// The attached span recorder, if tracing is enabled.
     pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
         self.tracer.as_ref()
+    }
+
+    /// The attached chaos schedule, if fault injection is enabled.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// Overrides the simulation worker count (`0` = one per core). Results
@@ -421,8 +444,26 @@ impl Engine {
     /// results; reusing one across submissions just recycles allocations.
     /// Use [`Engine::lock_context`] for the engine's shared context, or an
     /// owned [`RunContext`] for isolation.
+    ///
+    /// With a [`EngineBuilder::fault_plan`] attached, the submission may
+    /// come back as [`GpuError::Fault`]; the op still burned its priced
+    /// time on the plan's simulated clock before failing.
     pub fn submit(&self, ctx: &mut RunContext, workload: Workload<'_>) -> Result<WorkloadMetrics> {
-        self.submit_inner(ctx, workload, true)
+        let op = Self::op_name(&workload);
+        let (metrics, fault) = self.price_with_faults(ctx, workload, true)?;
+        match fault {
+            Some(kind) => Err(GpuError::Fault { kind, op }),
+            None => Ok(metrics),
+        }
+    }
+
+    /// Short op label for fault errors and stream spans.
+    fn op_name(workload: &Workload<'_>) -> String {
+        match workload {
+            Workload::Kernel(kernel) => kernel.name().to_string(),
+            Workload::Gemm { m, n, k } => format!("gemm_{m}x{k}x{n}"),
+            Workload::Transfer { .. } => "transfer".to_string(),
+        }
     }
 
     /// `submit` with tracing suppressed: [`crate::stream::StreamSim`]
@@ -432,8 +473,43 @@ impl Engine {
         &self,
         ctx: &mut RunContext,
         workload: Workload<'_>,
-    ) -> Result<WorkloadMetrics> {
-        self.submit_inner(ctx, workload, false)
+    ) -> Result<(WorkloadMetrics, Option<FaultKind>)> {
+        self.price_with_faults(ctx, workload, false)
+    }
+
+    /// Prices one workload under the engine's fault plan (if any). A
+    /// `Slow` verdict stretches the metrics before they are returned or
+    /// traced; a `Fail` verdict (or a device-reset crossing during the
+    /// op) is reported alongside the burned metrics rather than as an
+    /// `Err`, so stream schedulers can still occupy the device with the
+    /// failed op's cycles. Verdicts are consumed on this serial path —
+    /// never inside the sharded block loop — so the fault sequence depends
+    /// only on submission order, not on `GNNADVISOR_SIM_THREADS`.
+    fn price_with_faults(
+        &self,
+        ctx: &mut RunContext,
+        workload: Workload<'_>,
+        traced: bool,
+    ) -> Result<(WorkloadMetrics, Option<FaultKind>)> {
+        let Some(plan) = &self.fault_plan else {
+            return self.submit_inner(ctx, workload, traced).map(|m| (m, None));
+        };
+        let is_transfer = matches!(workload, Workload::Transfer { .. });
+        let verdict = plan.next_verdict(is_transfer);
+        let (slow_factor, mut fault) = match verdict {
+            OpVerdict::Ok => (1.0, None),
+            OpVerdict::Slow { factor } => (factor, None),
+            OpVerdict::Fail { kind } => (1.0, Some(kind)),
+        };
+        // An op that dies never completes, so its span is not recorded;
+        // the trace stays a timeline of finished work. Slowed ops are
+        // traced at their stretched timings.
+        let traced = traced && fault.is_none();
+        let metrics = self.price_inner(ctx, workload, traced, slow_factor)?;
+        if let Some(kind) = plan.absorb_time(metrics.time_ms()) {
+            fault.get_or_insert(kind);
+        }
+        Ok((metrics, fault))
     }
 
     fn submit_inner(
@@ -442,13 +518,27 @@ impl Engine {
         workload: Workload<'_>,
         traced: bool,
     ) -> Result<WorkloadMetrics> {
+        self.price_inner(ctx, workload, traced, 1.0)
+    }
+
+    fn price_inner(
+        &self,
+        ctx: &mut RunContext,
+        workload: Workload<'_>,
+        traced: bool,
+        slow_factor: f64,
+    ) -> Result<WorkloadMetrics> {
         match workload {
             Workload::Kernel(kernel) => self
-                .launch_kernel(ctx, kernel, traced)
+                .launch_kernel(ctx, kernel, traced, slow_factor)
                 .map(WorkloadMetrics::Kernel),
-            Workload::Gemm { m, n, k } => {
-                Ok(WorkloadMetrics::Kernel(self.price_gemm(m, n, k, traced)))
-            }
+            Workload::Gemm { m, n, k } => Ok(WorkloadMetrics::Kernel(self.price_gemm_inner(
+                m,
+                n,
+                k,
+                traced,
+                slow_factor,
+            ))),
             Workload::Transfer { bytes } => Ok(WorkloadMetrics::Transfer(
                 self.price_transfer(bytes, traced),
             )),
@@ -459,23 +549,26 @@ impl Engine {
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
     pub fn run(&self, kernel: &dyn Kernel) -> Result<KernelMetrics> {
         let mut ctx = self.ctx.lock().unwrap_or_else(|p| p.into_inner());
-        self.launch_kernel(&mut ctx, kernel, true)
+        self.launch_kernel(&mut ctx, kernel, true, 1.0)
     }
 
     /// Launches a kernel against an explicit context.
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
     pub fn run_in(&self, ctx: &mut RunContext, kernel: &dyn Kernel) -> Result<KernelMetrics> {
-        self.launch_kernel(ctx, kernel, true)
+        self.launch_kernel(ctx, kernel, true, 1.0)
     }
 
     /// Simulates one kernel launch. The context is fully re-prepared
     /// first, so any context yields identical results; passing the same
-    /// one across launches just recycles its allocations.
+    /// one across launches just recycles its allocations. `slow_factor`
+    /// (an injected-fault stretch, `1.0` = clean) is applied before
+    /// tracing, so recorded spans show the perturbed timings.
     fn launch_kernel(
         &self,
         ctx: &mut RunContext,
         kernel: &dyn Kernel,
         traced: bool,
+        slow_factor: f64,
     ) -> Result<KernelMetrics> {
         let grid = kernel.grid();
         grid.validate(&self.spec)?;
@@ -680,6 +773,10 @@ impl Engine {
         };
         totals.sm_efficiency = (feed_eff.min(1.0) * warp_eff).clamp(0.0, 1.0);
 
+        if slow_factor != 1.0 {
+            totals.stretch(slow_factor, &self.spec);
+        }
+
         if tracing {
             if let Some(tracer) = &self.tracer {
                 tracer.record_kernel(&totals, &self.spec, &shard_traces, &hot_blocks);
@@ -754,13 +851,22 @@ impl Engine {
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP).
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Gemm")]
     pub fn run_gemm(&self, m: usize, n: usize, k: usize) -> KernelMetrics {
-        self.price_gemm(m, n, k, true)
+        self.price_gemm_inner(m, n, k, true, 1.0)
     }
 
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP) with
     /// a cuBLAS-like roofline: compute at `gemm_efficiency` of peak FLOPs,
-    /// memory as one pass over the three operand matrices.
-    fn price_gemm(&self, m: usize, n: usize, k: usize, traced: bool) -> KernelMetrics {
+    /// memory as one pass over the three operand matrices. `slow_factor`
+    /// is an injected-fault stretch (`1.0` = clean), applied before
+    /// tracing.
+    fn price_gemm_inner(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        traced: bool,
+        slow_factor: f64,
+    ) -> KernelMetrics {
         let flops = 2 * m as u64 * n as u64 * k as u64;
         let compute_cycles =
             (flops as f64 / (self.spec.flops_per_cycle() * self.spec.gemm_efficiency)) as u64;
@@ -769,7 +875,7 @@ impl Engine {
         let body = compute_cycles.max(bw_cycles);
         let elapsed = body + self.spec.kernel_launch_cycles;
         let dram_phase = bw_cycles.min(body);
-        let metrics = KernelMetrics {
+        let mut metrics = KernelMetrics {
             name: format!("gemm_{m}x{k}x{n}"),
             elapsed_cycles: elapsed,
             time_ms: self.spec.cycles_to_ms(elapsed),
@@ -795,6 +901,9 @@ impl Engine {
             },
             ..Default::default()
         };
+        if slow_factor != 1.0 {
+            metrics.stretch(slow_factor, &self.spec);
+        }
         if traced {
             if let Some(tracer) = &self.tracer {
                 tracer.record_gemm(&metrics);
@@ -1440,6 +1549,170 @@ mod tests {
         )
         .unwrap();
         assert_eq!(hot.limiter, crate::metrics::Limiter::AtomicHotspot);
+    }
+
+    #[test]
+    fn faulted_submissions_return_typed_errors() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let plan = Arc::new(
+            FaultPlan::new(FaultConfig {
+                transfer_fail_prob: 1.0,
+                seed: 3,
+                ..FaultConfig::default()
+            })
+            .unwrap(),
+        );
+        let e = Engine::builder(GpuSpec::quadro_p6000())
+            .fault_plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        let mut ctx = RunContext::new();
+        let err = e
+            .submit(&mut ctx, Workload::Transfer { bytes: 1 << 20 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::Fault {
+                kind: FaultKind::TransferFailure,
+                op: "transfer".into(),
+            }
+        );
+        // Kernels sail through a transfer-only fault config.
+        assert!(e
+            .submit(
+                &mut ctx,
+                Workload::Gemm {
+                    m: 256,
+                    n: 32,
+                    k: 64
+                }
+            )
+            .is_ok());
+        // The failed transfer still consumed an op index (burned time).
+        assert_eq!(plan.op_count(), 2);
+    }
+
+    #[test]
+    fn slowdown_stretches_metrics_and_keeps_phases_exact() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let spec = GpuSpec::quadro_p6000();
+        let clean = launch(&Engine::new(spec.clone()), &Windowed { blocks: 96 }).unwrap();
+        let plan = Arc::new(
+            FaultPlan::new(FaultConfig {
+                kernel_slow_prob: 1.0,
+                kernel_slow_factor: 3.0,
+                seed: 11,
+                ..FaultConfig::default()
+            })
+            .unwrap(),
+        );
+        let e = Engine::builder(spec).fault_plan(plan).build().unwrap();
+        let slow = launch(&e, &Windowed { blocks: 96 }).unwrap();
+        assert_eq!(slow.elapsed_cycles, clean.elapsed_cycles * 3);
+        assert_eq!(
+            slow.phases.total_cycles(),
+            slow.elapsed_cycles,
+            "stretch must keep the phase partition exact"
+        );
+        assert!((slow.time_ms - clean.time_ms * 3.0).abs() < 1e-9);
+        assert!((slow.sm_efficiency - clean.sm_efficiency / 3.0).abs() < 1e-12);
+        // The slowdown changes only time attribution, not counted work.
+        assert_eq!(slow.dram_read_bytes, clean.dram_read_bytes);
+        assert_eq!(slow.l2_hits, clean.l2_hits);
+        assert_eq!(slow.atomic_ops, clean.atomic_ops);
+    }
+
+    #[test]
+    fn device_reset_kills_the_op_crossing_the_instant() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let e = Engine::new(GpuSpec::quadro_p6000());
+        let mut ctx = RunContext::new();
+        let one = e
+            .submit(&mut ctx, Workload::Transfer { bytes: 8 << 20 })
+            .unwrap()
+            .time_ms();
+        // Reset midway through the third transfer.
+        let plan = Arc::new(
+            FaultPlan::new(FaultConfig {
+                device_reset_ms: Some(one * 2.5),
+                ..FaultConfig::default()
+            })
+            .unwrap(),
+        );
+        let chaotic = Engine::builder(GpuSpec::quadro_p6000())
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        for i in 0..2 {
+            assert!(
+                chaotic
+                    .submit(&mut ctx, Workload::Transfer { bytes: 8 << 20 })
+                    .is_ok(),
+                "transfer {i} precedes the reset"
+            );
+        }
+        let err = chaotic
+            .submit(&mut ctx, Workload::Transfer { bytes: 8 << 20 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::Fault {
+                kind: FaultKind::DeviceReset,
+                op: "transfer".into(),
+            }
+        );
+        // The device recovers: the reset fires once.
+        assert!(chaotic
+            .submit(&mut ctx, Workload::Transfer { bytes: 8 << 20 })
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_sequences_are_identical_across_thread_counts() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let spec = GpuSpec::quadro_p6000();
+        let cfg = FaultConfig {
+            transfer_fail_prob: 0.4,
+            kernel_slow_prob: 0.3,
+            kernel_slow_factor: 2.0,
+            kernel_timeout_prob: 0.3,
+            seed: 77,
+            ..FaultConfig::default()
+        };
+        let outcomes_at = |threads: usize| {
+            let e = Engine::builder(spec.clone())
+                .sim_threads(threads)
+                .fault_plan(Arc::new(FaultPlan::new(cfg.clone()).unwrap()))
+                .build()
+                .unwrap();
+            let mut ctx = RunContext::new();
+            let k = Windowed { blocks: 160 };
+            (0..40)
+                .map(|i| {
+                    let workload = match i % 3 {
+                        0 => Workload::Kernel(&k),
+                        1 => Workload::Gemm {
+                            m: 128,
+                            n: 16,
+                            k: 32,
+                        },
+                        _ => Workload::Transfer { bytes: 1 << 18 },
+                    };
+                    match e.submit(&mut ctx, workload) {
+                        Ok(m) => format!("ok {:.6}", m.time_ms()),
+                        Err(err) => format!("err {err}"),
+                    }
+                })
+                .collect::<Vec<String>>()
+        };
+        let serial = outcomes_at(1);
+        assert!(serial.iter().any(|o| o.starts_with("err")));
+        assert!(serial.iter().any(|o| o.starts_with("ok")));
+        assert_eq!(
+            outcomes_at(4),
+            serial,
+            "fault sequence must not depend on workers"
+        );
     }
 
     #[test]

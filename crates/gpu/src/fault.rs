@@ -1,0 +1,390 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Production serving is about staying correct and bounded-latency when
+//! transfers flake, kernels stall, and deadlines pass — none of which the
+//! happy-path simulator exercises. This module adds a *chaos layer* the
+//! reliability machinery upstairs (`core::serving` retries and deadlines)
+//! can be tested against, without giving up the workspace's determinism
+//! contract:
+//!
+//! - A [`FaultConfig`] declares per-op probabilities: transfer failure,
+//!   kernel slowdown (with a stretch factor), kernel timeout, and an
+//!   optional device-reset instant on the simulated clock.
+//! - A [`FaultPlan`] turns the config into per-op verdicts. Every verdict
+//!   is a pure function of `(seed, op index)` — a SplitMix64 mix, no
+//!   global RNG stream — so a `(config, seed)` pair is bit-reproducible
+//!   at any `GNNADVISOR_SIM_THREADS` value: ops are numbered in submission
+//!   order on the caller's thread, never inside the sharded block loop.
+//! - Faults are *priced on the simulated clock*: a failed transfer still
+//!   burns its cycles before failing (in a stream schedule it occupies the
+//!   copy engine for its full duration), and a timed-out kernel holds its
+//!   SM slots until the timeout fires.
+//!
+//! A plan is one run's state (it counts ops and tracks the reset clock);
+//! to reproduce a run, build a fresh plan from the same `FaultConfig`.
+
+use std::sync::Mutex;
+
+use crate::{GpuError, Result};
+
+/// What kind of injected fault killed an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A host↔device copy failed after burning its transfer time.
+    TransferFailure,
+    /// A kernel (or roofline GEMM) stalled past its timeout budget.
+    KernelTimeout,
+    /// The device reset at the configured instant, killing the op in
+    /// flight.
+    DeviceReset,
+}
+
+impl FaultKind {
+    /// Short label for reports and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::TransferFailure => "transfer-failure",
+            FaultKind::KernelTimeout => "kernel-timeout",
+            FaultKind::DeviceReset => "device-reset",
+        }
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Declarative fault model: per-op probabilities plus an optional
+/// device-reset instant. All draws come from a seeded hash, so the model
+/// is a pure function of `(config, seed, op index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that one host↔device transfer fails (after burning its
+    /// cycles), in `[0, 1]`.
+    pub transfer_fail_prob: f64,
+    /// Probability that one kernel/GEMM launch runs slow, in `[0, 1]`.
+    pub kernel_slow_prob: f64,
+    /// Elapsed-time multiplier applied to slowed kernels; must be finite
+    /// and at least 1.
+    pub kernel_slow_factor: f64,
+    /// Probability that one kernel/GEMM launch times out (burns its
+    /// cycles — stretched if also slowed — then fails), in `[0, 1]`.
+    pub kernel_timeout_prob: f64,
+    /// Simulated instant (milliseconds of cumulative submitted op time) at
+    /// which the device resets once, killing the op in flight.
+    pub device_reset_ms: Option<f64>,
+    /// Seed of the per-op draws; equal `(config, seed)` pairs produce
+    /// identical fault sequences.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            transfer_fail_prob: 0.0,
+            kernel_slow_prob: 0.0,
+            kernel_slow_factor: 2.0,
+            kernel_timeout_prob: 0.0,
+            device_reset_ms: None,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config failing transfers and timing out kernels at `rate`, and
+    /// slowing kernels 2x at the same rate — the CLI's `--fault-rate`
+    /// shorthand.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        Self {
+            transfer_fail_prob: rate,
+            kernel_slow_prob: rate,
+            kernel_slow_factor: 2.0,
+            kernel_timeout_prob: rate / 2.0,
+            device_reset_ms: None,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let prob = |name: &str, p: f64| -> Result<()> {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(GpuError::InvalidConfig {
+                    reason: format!("{name} must be a probability in [0, 1], got {p}"),
+                });
+            }
+            Ok(())
+        };
+        prob("transfer_fail_prob", self.transfer_fail_prob)?;
+        prob("kernel_slow_prob", self.kernel_slow_prob)?;
+        prob("kernel_timeout_prob", self.kernel_timeout_prob)?;
+        if !(self.kernel_slow_factor.is_finite() && self.kernel_slow_factor >= 1.0) {
+            return Err(GpuError::InvalidConfig {
+                reason: format!(
+                    "kernel_slow_factor must be finite and >= 1, got {}",
+                    self.kernel_slow_factor
+                ),
+            });
+        }
+        if let Some(at) = self.device_reset_ms {
+            if !(at.is_finite() && at >= 0.0) {
+                return Err(GpuError::InvalidConfig {
+                    reason: format!("device_reset_ms must be non-negative and finite, got {at}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The verdict a plan hands one submitted op before pricing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum OpVerdict {
+    /// The op proceeds normally.
+    Ok,
+    /// The op proceeds at `factor` times its normal elapsed time.
+    Slow {
+        /// Elapsed-time multiplier, `>= 1`.
+        factor: f64,
+    },
+    /// The op burns its cycles, then fails with `kind`.
+    Fail {
+        /// The injected failure kind.
+        kind: FaultKind,
+    },
+}
+
+/// Mutable run state of one plan: the op counter and the reset clock.
+#[derive(Debug)]
+struct PlanState {
+    next_op: u64,
+    clock_ms: f64,
+    reset_fired: bool,
+}
+
+/// One run's fault schedule, built from a validated [`FaultConfig`].
+///
+/// Attach it to an engine with
+/// [`crate::EngineBuilder::fault_plan`]; every subsequent
+/// [`crate::Engine::submit`] (and every op a [`crate::StreamSim`] over
+/// that engine enqueues) consumes one op index and may come back as
+/// [`GpuError::Fault`]. The plan is stateful — op indices advance and the
+/// reset fires at most once — so build a fresh plan to reproduce a run.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    state: Mutex<PlanState>,
+}
+
+/// SplitMix64 finalizer: a well-mixed pure function of the input word.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, op index, salt)`.
+fn draw(seed: u64, index: u64, salt: u64) -> f64 {
+    let word = splitmix64(seed ^ splitmix64(index.wrapping_add(salt.wrapping_mul(0x9E37))));
+    // 53 mantissa bits -> [0, 1).
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// Validates `config` and builds a plan with its op counter at zero.
+    pub fn new(config: FaultConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            state: Mutex::new(PlanState {
+                next_op: 0,
+                clock_ms: 0.0,
+                reset_fired: false,
+            }),
+        })
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// How many ops have consumed a verdict so far.
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).next_op
+    }
+
+    /// Consumes the next op index and returns its verdict. `transfer`
+    /// selects which probabilities apply. The verdict is a pure function
+    /// of `(seed, index)`, so submission order alone determines the fault
+    /// sequence.
+    pub(crate) fn next_verdict(&self, transfer: bool) -> OpVerdict {
+        let index = {
+            let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            let index = state.next_op;
+            state.next_op += 1;
+            index
+        };
+        let cfg = &self.config;
+        if transfer {
+            if draw(cfg.seed, index, 1) < cfg.transfer_fail_prob {
+                return OpVerdict::Fail {
+                    kind: FaultKind::TransferFailure,
+                };
+            }
+            return OpVerdict::Ok;
+        }
+        if draw(cfg.seed, index, 2) < cfg.kernel_timeout_prob {
+            return OpVerdict::Fail {
+                kind: FaultKind::KernelTimeout,
+            };
+        }
+        if draw(cfg.seed, index, 3) < cfg.kernel_slow_prob {
+            return OpVerdict::Slow {
+                factor: cfg.kernel_slow_factor,
+            };
+        }
+        OpVerdict::Ok
+    }
+
+    /// Advances the plan's simulated clock by one op's priced time and
+    /// reports whether the device-reset instant was crossed by it (the
+    /// reset fires at most once).
+    pub(crate) fn absorb_time(&self, time_ms: f64) -> Option<FaultKind> {
+        let reset_at = self.config.device_reset_ms?;
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let start = state.clock_ms;
+        state.clock_ms += time_ms;
+        if !state.reset_fired && start <= reset_at && reset_at < state.clock_ms {
+            state.reset_fired = true;
+            return Some(FaultKind::DeviceReset);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config).expect("valid config")
+    }
+
+    #[test]
+    fn verdicts_are_reproducible_per_seed() {
+        let cfg = FaultConfig {
+            transfer_fail_prob: 0.3,
+            kernel_slow_prob: 0.2,
+            kernel_timeout_prob: 0.1,
+            seed: 99,
+            ..FaultConfig::default()
+        };
+        let sequence = |cfg: &FaultConfig| -> Vec<OpVerdict> {
+            let p = plan(cfg.clone());
+            (0..200).map(|i| p.next_verdict(i % 3 == 0)).collect()
+        };
+        assert_eq!(sequence(&cfg), sequence(&cfg));
+        let mut other = cfg.clone();
+        other.seed = 100;
+        assert_ne!(sequence(&cfg), sequence(&other), "seed must matter");
+    }
+
+    #[test]
+    fn probabilities_gate_the_fault_classes() {
+        // Zero everywhere: no verdict ever faults.
+        let p = plan(FaultConfig::default());
+        for i in 0..100 {
+            assert_eq!(p.next_verdict(i % 2 == 0), OpVerdict::Ok);
+        }
+        // Certain transfer failure never touches kernels, and vice versa.
+        let p = plan(FaultConfig {
+            transfer_fail_prob: 1.0,
+            seed: 5,
+            ..FaultConfig::default()
+        });
+        assert_eq!(
+            p.next_verdict(true),
+            OpVerdict::Fail {
+                kind: FaultKind::TransferFailure
+            }
+        );
+        assert_eq!(p.next_verdict(false), OpVerdict::Ok);
+        let p = plan(FaultConfig {
+            kernel_timeout_prob: 1.0,
+            seed: 5,
+            ..FaultConfig::default()
+        });
+        assert_eq!(p.next_verdict(true), OpVerdict::Ok);
+        assert_eq!(
+            p.next_verdict(false),
+            OpVerdict::Fail {
+                kind: FaultKind::KernelTimeout
+            }
+        );
+    }
+
+    #[test]
+    fn fault_rates_track_probabilities() {
+        let p = plan(FaultConfig {
+            transfer_fail_prob: 0.25,
+            seed: 7,
+            ..FaultConfig::default()
+        });
+        let fails = (0..4000)
+            .filter(|_| matches!(p.next_verdict(true), OpVerdict::Fail { .. }))
+            .count();
+        let rate = fails as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn device_reset_fires_exactly_once() {
+        let p = plan(FaultConfig {
+            device_reset_ms: Some(10.0),
+            ..FaultConfig::default()
+        });
+        assert_eq!(p.absorb_time(4.0), None);
+        assert_eq!(p.absorb_time(4.0), None);
+        // The op spanning the 10 ms instant dies; later ops are fine.
+        assert_eq!(p.absorb_time(4.0), Some(FaultKind::DeviceReset));
+        assert_eq!(p.absorb_time(100.0), None);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for bad in [
+            FaultConfig {
+                transfer_fail_prob: -0.1,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                kernel_slow_prob: 1.5,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                kernel_timeout_prob: f64::NAN,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                kernel_slow_factor: 0.5,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                device_reset_ms: Some(-1.0),
+                ..FaultConfig::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    FaultPlan::new(bad.clone()),
+                    Err(GpuError::InvalidConfig { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+}

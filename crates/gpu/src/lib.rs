@@ -26,6 +26,7 @@ pub mod cache;
 pub mod context;
 pub mod device_memory;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod spec;
@@ -38,10 +39,11 @@ pub use device_memory::DeviceMemory;
 pub use engine::{
     parse_sim_threads, Engine, EngineBuilder, Workload, WorkloadMetrics, MAX_SIM_THREADS,
 };
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
 pub use metrics::{KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
 pub use spec::GpuSpec;
-pub use stream::{EventId, OpSpan, StreamId, StreamReport, StreamSim};
+pub use stream::{Enqueued, EventId, OpSpan, StreamId, StreamReport, StreamSim};
 pub use trace::{ArgValue, SpanKind, TraceEvent, TraceRecorder};
 pub use transfer::TransferMetrics;
 
@@ -87,6 +89,16 @@ pub enum GpuError {
         /// One blocked stream id (the lowest, for determinism).
         stream: usize,
     },
+    /// An injected fault from the engine's [`fault::FaultPlan`] killed an
+    /// op. The op still burned its priced time on the simulated clock
+    /// before failing.
+    Fault {
+        /// What kind of fault fired.
+        kind: fault::FaultKind,
+        /// Name of the op that died (kernel name, `"gemm"`, or
+        /// `"transfer"`).
+        op: String,
+    },
 }
 
 impl core::fmt::Display for GpuError {
@@ -113,6 +125,9 @@ impl core::fmt::Display for GpuError {
                     "stream schedule deadlocked: stream {stream} waits on an event \
                      that can never be recorded"
                 )
+            }
+            GpuError::Fault { kind, op } => {
+                write!(f, "injected {kind} fault killed op `{op}`")
             }
         }
     }

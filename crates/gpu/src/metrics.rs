@@ -145,6 +145,22 @@ impl KernelMetrics {
     pub fn dram_bytes(&self) -> u64 {
         self.dram_read_bytes + self.dram_write_bytes
     }
+
+    /// Stretches the kernel's elapsed time by `factor` (an injected-fault
+    /// slowdown, `>= 1`). The extra cycles are exposed stall time on the
+    /// SMs, so they are attributed to the compute phase — keeping the
+    /// `compute + dram + atomic + launch == elapsed` partition exact —
+    /// and SM efficiency shrinks by the same factor (the useful work did
+    /// not grow).
+    pub fn stretch(&mut self, factor: f64, spec: &crate::spec::GpuSpec) {
+        debug_assert!(factor.is_finite() && factor >= 1.0);
+        let stretched = (self.elapsed_cycles as f64 * factor).round() as u64;
+        let extra = stretched.saturating_sub(self.elapsed_cycles);
+        self.elapsed_cycles += extra;
+        self.phases.compute_cycles += extra;
+        self.time_ms = spec.cycles_to_ms(self.elapsed_cycles);
+        self.sm_efficiency /= factor;
+    }
 }
 
 /// Aggregated metrics of a multi-kernel run (e.g. a full GNN forward pass):

@@ -35,6 +35,7 @@
 
 use crate::context::RunContext;
 use crate::engine::{Engine, Workload, WorkloadMetrics};
+use crate::fault::FaultKind;
 use crate::trace::{ArgValue, SpanKind, TraceEvent, STREAM_TRACK_BASE};
 use crate::{GpuError, Result};
 
@@ -89,6 +90,10 @@ pub struct OpSpan {
     pub start_cycles: u64,
     /// Scheduled end on the simulated clock, cycles.
     pub end_cycles: u64,
+    /// The injected fault that killed this op, if any. A faulted op still
+    /// occupies its resources for its full `[start, end)` window — the
+    /// failure is observed at `end_cycles`.
+    pub fault: Option<FaultKind>,
 }
 
 /// The committed schedule of one [`StreamSim::run`].
@@ -136,6 +141,24 @@ struct Op {
     /// Earliest permitted start on the simulated clock (a release time —
     /// serving uses it to pin batches to their dispatch instants).
     not_before: u64,
+    /// The injected fault this op dies with, drawn at enqueue time.
+    fault: Option<FaultKind>,
+}
+
+/// What [`StreamSim::try_enqueue_at`] committed: the op's handle, its
+/// standalone metrics, and — with a fault plan attached to the engine —
+/// whether the op is doomed to fail on the schedule. The fault is known
+/// at enqueue time (verdicts are drawn in submission order), so callers
+/// can plan retries before running the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enqueued {
+    /// Handle for completion-time lookups in the [`StreamReport`].
+    pub handle: OpHandle,
+    /// The op's standalone metrics (stretched if the op drew a slowdown).
+    pub metrics: WorkloadMetrics,
+    /// The fault this op will die with, if any; it still burns its full
+    /// priced time on the schedule first.
+    pub fault: Option<FaultKind>,
 }
 
 /// A deterministic multi-stream scheduler over one [`Engine`]. See the
@@ -194,8 +217,20 @@ impl<'e> StreamSim<'e> {
         workload: Workload<'_>,
         not_before_cycles: u64,
     ) -> Result<(OpHandle, WorkloadMetrics)> {
+        self.try_enqueue_at(stream, workload, not_before_cycles)
+            .map(|e| (e.handle, e.metrics))
+    }
+
+    /// [`StreamSim::enqueue_at`] exposing the op's enqueue-time fault
+    /// verdict (always `None` without a fault plan on the engine).
+    pub fn try_enqueue_at(
+        &mut self,
+        stream: StreamId,
+        workload: Workload<'_>,
+        not_before_cycles: u64,
+    ) -> Result<Enqueued> {
         self.check_stream(stream)?;
-        let metrics = self.engine.submit_untraced(&mut self.ctx, workload)?;
+        let (metrics, fault) = self.engine.submit_untraced(&mut self.ctx, workload)?;
         let spec = self.engine.spec();
         let (kind, name) = match &metrics {
             WorkloadMetrics::Kernel(m) => (
@@ -220,9 +255,14 @@ impl<'e> StreamSim<'e> {
                 kind,
                 name,
                 not_before: not_before_cycles,
+                fault,
             },
         );
-        Ok((handle, metrics))
+        Ok(Enqueued {
+            handle,
+            metrics,
+            fault,
+        })
     }
 
     /// Creates an event. It completes when a [`StreamSim::record_event`]
@@ -252,6 +292,7 @@ impl<'e> StreamSim<'e> {
                 kind: OpKind::Record { event: event.0 },
                 name: format!("record e{}", event.0),
                 not_before: 0,
+                fault: None,
             },
         ))
     }
@@ -269,6 +310,7 @@ impl<'e> StreamSim<'e> {
                 kind: OpKind::Wait { event: event.0 },
                 name: format!("wait e{}", event.0),
                 not_before: 0,
+                fault: None,
             },
         ))
     }
@@ -380,6 +422,7 @@ impl<'e> StreamSim<'e> {
                 class,
                 start_cycles: start,
                 end_cycles: end,
+                fault: op.fault,
             });
             stream_ready[s] = end;
             next_op[s] += 1;
@@ -407,10 +450,16 @@ impl<'e> StreamSim<'e> {
                     start_cycles: span.start_cycles,
                     dur_cycles: span.end_cycles - span.start_cycles,
                     track: STREAM_TRACK_BASE + span.stream.0 as u32,
-                    args: vec![
-                        ("stream", ArgValue::Int(span.stream.0 as u64)),
-                        ("cycles", ArgValue::Int(span.end_cycles - span.start_cycles)),
-                    ],
+                    args: {
+                        let mut args = vec![
+                            ("stream", ArgValue::Int(span.stream.0 as u64)),
+                            ("cycles", ArgValue::Int(span.end_cycles - span.start_cycles)),
+                        ];
+                        if let Some(kind) = span.fault {
+                            args.push(("fault", ArgValue::Text(kind.label().into())));
+                        }
+                        args
+                    },
                     counter: false,
                 })
                 .collect();
@@ -740,6 +789,43 @@ mod tests {
             assert_eq!(report, serial_report, "threads {threads}");
             assert_eq!(trace, serial_trace, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn faulted_ops_burn_their_cycles_on_the_schedule() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let plan = Arc::new(
+            FaultPlan::new(FaultConfig {
+                transfer_fail_prob: 1.0,
+                seed: 9,
+                ..FaultConfig::default()
+            })
+            .unwrap(),
+        );
+        let e = Engine::builder(GpuSpec::quadro_p6000())
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let mut sim = StreamSim::new(&e);
+        let s = sim.stream();
+        let doomed = sim
+            .try_enqueue_at(s, Workload::Transfer { bytes: 32 << 20 }, 0)
+            .unwrap();
+        assert_eq!(doomed.fault, Some(FaultKind::TransferFailure));
+        let clean = sim.try_enqueue_at(s, gemm_with_blocks(4), 0).unwrap();
+        assert_eq!(clean.fault, None);
+        let report = sim.run().unwrap();
+        let copy = &report.spans[0];
+        assert_eq!(copy.fault, Some(FaultKind::TransferFailure));
+        // The doomed transfer holds the copy engine for its full priced
+        // window; the next op on the stream starts only after it ends.
+        let copy_cycles = e.spec().ms_to_cycles(doomed.metrics.time_ms());
+        assert_eq!(copy.end_cycles - copy.start_cycles, copy_cycles);
+        assert!(copy_cycles > 0);
+        let kernel = &report.spans[1];
+        assert_eq!(kernel.fault, None);
+        assert!(kernel.start_cycles >= copy.end_cycles);
+        assert_eq!(report.copy_busy_cycles, copy_cycles);
     }
 
     #[test]

@@ -142,7 +142,7 @@ impl BatchExecutor for GcnBatchExecutor {
 mod tests {
     use super::*;
     use gnnadvisor_core::serving::{
-        generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, Request,
+        generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, Request, RetryPolicy,
         ServingConfig,
     };
     use gnnadvisor_gpu::{Engine, GpuSpec};
@@ -228,6 +228,8 @@ mod tests {
                 max_batch: 6,
                 max_delay_ms: 1.5,
             },
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
         };
         let engine = Engine::new(GpuSpec::quadro_p6000());
         let a = simulate(&engine, &arrivals, &cfg, &mut exec).expect("runs");
@@ -236,5 +238,45 @@ mod tests {
         assert_eq!(a.completed as u64 + a.shed, 48);
         assert!(a.p50_ms > 0.0);
         assert!(a.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn faulted_serving_retries_gcn_batches() {
+        use gnnadvisor_gpu::{FaultConfig, FaultPlan};
+        let (g, comp) = dataset();
+        let mut exec = GcnBatchExecutor::new(&g, &comp, 32, 16, 4);
+        let arrivals = generate_arrivals(&ArrivalConfig {
+            num_requests: 32,
+            mean_interarrival_ms: 0.3,
+            num_components: exec.num_components(),
+            seed: 9,
+        })
+        .expect("valid");
+        let cfg = ServingConfig {
+            streams: 2,
+            queue: QueuePolicy { capacity: 24 },
+            batch: BatchPolicy {
+                max_batch: 6,
+                max_delay_ms: 1.5,
+            },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 0.25,
+                seed: 9,
+            },
+            deadline_ms: None,
+        };
+        let engine = Engine::builder(GpuSpec::quadro_p6000())
+            .fault_plan(std::sync::Arc::new(
+                FaultPlan::new(FaultConfig::uniform(0.2, 9)).expect("valid"),
+            ))
+            .build()
+            .expect("valid");
+        let report = simulate(&engine, &arrivals, &cfg, &mut exec).expect("runs");
+        assert_eq!(
+            report.completed as u64 + report.shed + report.failed as u64,
+            32
+        );
+        assert!(report.retries > 0, "a 20 % fault rate must trigger retries");
     }
 }

@@ -61,4 +61,31 @@ cmp "$trace_dir/s_a.txt" "$trace_dir/s_t1.txt" || {
   exit 1
 }
 
+echo "==> chaos smoke: faulted serve-sim stable across runs and worker counts"
+chaos() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    serve-sim --requests 32 --rate 4000 --streams 2 --scale 0.02 \
+    --fault-rate 0.2 --retries 2 --deadline-ms 40 > "$1"
+}
+chaos "$trace_dir/c_a.txt"
+chaos "$trace_dir/c_b.txt"
+GNNADVISOR_SIM_THREADS=1 chaos "$trace_dir/c_t1.txt"
+GNNADVISOR_SIM_THREADS=4 chaos "$trace_dir/c_t4.txt"
+grep -q "batch retries" "$trace_dir/c_a.txt" || {
+  echo "FAIL: faulted serve-sim report missing reliability stats" >&2
+  exit 1
+}
+cmp "$trace_dir/c_a.txt" "$trace_dir/c_b.txt" || {
+  echo "FAIL: faulted serve-sim report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/c_t1.txt" "$trace_dir/c_t4.txt" || {
+  echo "FAIL: faulted serve-sim report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/c_a.txt" "$trace_dir/c_t1.txt" || {
+  echo "FAIL: faulted serve-sim report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+
 echo "CI green."

@@ -11,12 +11,13 @@ use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
 use gnnadvisor_core::serving::{
-    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, ServingConfig,
+    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy,
+    ServingConfig,
 };
 use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_core::tuning::model;
 use gnnadvisor_datasets::{table1_by_name, Dataset};
-use gnnadvisor_gpu::{Engine, GpuSpec, TraceRecorder};
+use gnnadvisor_gpu::{Engine, FaultConfig, FaultPlan, GpuSpec, TraceRecorder};
 use gnnadvisor_graph::generators::{batched_graph, BatchedParams};
 use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
@@ -57,6 +58,12 @@ pub struct CliOptions {
     pub streams: usize,
     /// serve-sim: arrival-trace seed.
     pub seed: u64,
+    /// serve-sim: injected fault rate in `[0, 1]` (0 disables faults).
+    pub fault_rate: f64,
+    /// serve-sim: retries per faulted batch (attempts = retries + 1).
+    pub retries: usize,
+    /// serve-sim: per-request completion deadline, ms (`None` = none).
+    pub deadline_ms: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -77,6 +84,9 @@ impl Default for CliOptions {
             queue_cap: 64,
             streams: 4,
             seed: 7,
+            fault_rate: 0.0,
+            retries: 2,
+            deadline_ms: None,
         }
     }
 }
@@ -151,6 +161,23 @@ impl CliOptions {
                         .parse()
                         .map_err(|_| "--seed needs an integer".to_string())?
                 }
+                "--fault-rate" => {
+                    opts.fault_rate = need()?
+                        .parse()
+                        .map_err(|_| "--fault-rate needs a number in [0, 1]".to_string())?
+                }
+                "--retries" => {
+                    opts.retries = need()?
+                        .parse()
+                        .map_err(|_| "--retries needs an integer".to_string())?
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = Some(
+                        need()?
+                            .parse()
+                            .map_err(|_| "--deadline-ms needs a number".to_string())?,
+                    )
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -188,6 +215,17 @@ impl CliOptions {
                 "--max-delay-ms must be non-negative, got {}",
                 opts.max_delay_ms
             ));
+        }
+        if !(opts.fault_rate.is_finite() && (0.0..=1.0).contains(&opts.fault_rate)) {
+            return Err(format!(
+                "--fault-rate must be a number in [0, 1], got {}",
+                opts.fault_rate
+            ));
+        }
+        if let Some(d) = opts.deadline_ms {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(format!("--deadline-ms must be positive, got {d}"));
+            }
         }
         Ok(opts)
     }
@@ -511,12 +549,30 @@ pub fn serve_sim(opts: &CliOptions) -> CliResult {
             max_batch: opts.batch_size,
             max_delay_ms: opts.max_delay_ms,
         },
+        retry: RetryPolicy {
+            max_attempts: opts.retries + 1,
+            seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        deadline_ms: opts.deadline_ms,
     };
-    let engine = Engine::builder(spec).build().map_err(|e| e.to_string())?;
+    let mut builder = Engine::builder(spec);
+    if opts.fault_rate > 0.0 {
+        // Faults are seeded alongside the arrival trace: the whole chaos
+        // run replays bit-for-bit from one --seed.
+        let plan = FaultPlan::new(FaultConfig::uniform(opts.fault_rate, opts.seed))
+            .map_err(|e| e.to_string())?;
+        builder = builder.fault_plan(Arc::new(plan));
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
     let report = simulate(&engine, &arrivals, &serving, &mut exec).map_err(|e| e.to_string())?;
+    let deadline = opts
+        .deadline_ms
+        .map_or("none".to_string(), |d| format!("{d} ms"));
     Ok(format!(
         "serve-sim: {} requests at {} req/s over {} component graphs ({})\n\
-         batching: max {} per batch, {} ms max delay, queue capacity {}, {} streams\n\n{}",
+         batching: max {} per batch, {} ms max delay, queue capacity {}, {} streams\n\
+         reliability: fault rate {}, {} retries, deadline {}\n\n{}",
         opts.requests,
         opts.rate,
         exec.num_components(),
@@ -525,6 +581,9 @@ pub fn serve_sim(opts: &CliOptions) -> CliResult {
         opts.max_delay_ms,
         opts.queue_cap,
         opts.streams,
+        opts.fault_rate,
+        opts.retries,
+        deadline,
         report.render(),
     ))
 }
@@ -585,7 +644,10 @@ SERVE-SIM OPTIONS:
     --max-delay-ms D     max queueing delay before dispatch (default 2)
     --queue-cap Q        admission-queue capacity (default 64)
     --streams S          concurrent simulated streams (default 4)
-    --seed X             arrival-trace seed (default 7)
+    --seed X             arrival-trace and fault seed (default 7)
+    --fault-rate F       injected device-fault rate in [0, 1] (default 0)
+    --retries N          retries per faulted batch (default 2)
+    --deadline-ms D      per-request completion deadline, ms (default none)
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -773,6 +835,45 @@ mod tests {
             .expect_err("negative delay")
             .contains("--max-delay-ms"));
         assert!(CliOptions::parse(&args("--max-delay-ms 0")).is_ok());
+        for bad in ["-0.1", "1.5", "nan"] {
+            assert!(CliOptions::parse(&args(&format!("--fault-rate {bad}")))
+                .expect_err(bad)
+                .contains("--fault-rate"));
+        }
+        assert!(CliOptions::parse(&args("--fault-rate 0.3 --retries 0")).is_ok());
+        for bad in ["0", "-2", "inf"] {
+            assert!(CliOptions::parse(&args(&format!("--deadline-ms {bad}")))
+                .expect_err(bad)
+                .contains("--deadline-ms"));
+        }
+        assert!(CliOptions::parse(&args("--deadline-ms 5")).is_ok());
+    }
+
+    #[test]
+    fn serve_sim_chaos_is_deterministic_and_reports_reliability() {
+        let cmd = "serve-sim --requests 32 --rate 4000 --scale 0.02 \
+                   --fault-rate 0.25 --retries 2 --deadline-ms 40";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "faulted serve-sim must be byte-identical");
+        for needle in [
+            "fault rate 0.25",
+            "requests failed",
+            "deadline missed",
+            "batch retries",
+            "goodput",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+        // Retries must actually fire at this fault rate.
+        let retries_line = a
+            .lines()
+            .find(|l| l.contains("batch retries"))
+            .expect("retries line");
+        assert!(
+            !retries_line.trim_end().ends_with(" 0"),
+            "expected non-zero retries: {retries_line}"
+        );
     }
 
     #[test]
