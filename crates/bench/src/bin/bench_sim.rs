@@ -25,11 +25,16 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use gnnadvisor_core::input::{extract, AggOrder};
+use gnnadvisor_core::tuning::{
+    aggregation_metrics, tune_two_tier, Estimator, EstimatorConfig, TwoTierConfig,
+};
 use gnnadvisor_gpu::kernel::WARP_SIZE;
 use gnnadvisor_gpu::{
-    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, Workload,
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, RunContext, Workload,
     WorkloadMetrics,
 };
+use gnnadvisor_graph::generators::barabasi_albert;
 use serde::{Deserialize, Serialize};
 
 /// Fixed workload: 512 blocks of 8 warps each, mixing a sliding coalesced
@@ -184,6 +189,58 @@ struct ThreadRow {
     speedup_vs_baseline: f64,
 }
 
+/// The hot-loop before/after: the same engine, same worker count, with
+/// the recycled [`RunContext`] arena versus a fresh context per launch
+/// (what every launch paid before spans, traces, and hot-block buffers
+/// moved into the context).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HotLoopBench {
+    /// One reused context across all launches (the engine's own path).
+    reused_context_wall_ms: f64,
+    /// A fresh `RunContext` allocated per launch.
+    fresh_context_wall_ms: f64,
+    /// fresh / reused — what arena reuse buys on this workload.
+    arena_speedup: f64,
+}
+
+/// Two-tier tuner benchmark on a moderate aggregation workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TuningBench {
+    /// The tuned workload.
+    graph: String,
+    /// Full-simulation tuner, memoization off (every duplicate candidate
+    /// re-simulated — the pre-PR cost), milliseconds.
+    full_sim_unmemoized_wall_ms: f64,
+    /// Full-simulation tuner with the fitness memo cache, milliseconds.
+    full_sim_memoized_wall_ms: f64,
+    /// Two-tier tuner end to end (probes + calibration + fast-path search
+    /// + finalist verification), milliseconds.
+    two_tier_wall_ms: f64,
+    /// full_sim_unmemoized / two_tier — the acceptance-criterion number.
+    tuner_speedup: f64,
+    /// Calibrated relative-error band reported by the analytic model.
+    calibration_error_band: f64,
+    /// Mean fast-path (closed-form) scoring cost per candidate, µs.
+    fast_path_per_candidate_us: f64,
+    /// Mean full-simulation scoring cost per candidate, µs.
+    full_sim_per_candidate_us: f64,
+    /// full_sim / fast_path per-candidate scoring ratio.
+    scoring_speedup: f64,
+    /// Engine latency of the two-tier winner, simulated ms.
+    two_tier_winner_ms: f64,
+    /// Engine latency of the full-sim tuner's winner, simulated ms.
+    full_sim_winner_ms: f64,
+    /// Whether the two-tier winner sits within the calibration band of
+    /// the full-sim winner (the acceptance criterion).
+    winner_within_band: bool,
+    /// Engine launches the two-tier tuner consumed (probes + finalists).
+    engine_evals: usize,
+    /// Distinct candidates the fast path scored.
+    fast_evals: usize,
+    /// Fast-path evaluations absorbed by the memo cache.
+    memo_hits: usize,
+}
+
 /// Everything `BENCH_sim.json` records.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchSim {
@@ -195,6 +252,9 @@ struct BenchSim {
     runs: usize,
     /// CPUs visible to this process; thread-scaling rows are bounded by it.
     host_cpus: usize,
+    /// Worker counts not timed because the host has too few CPUs to let
+    /// them win (counts above `host_cpus`, except the serial row).
+    skipped_worker_counts: Vec<usize>,
     /// Seed-style hot path (per-launch allocation + `Vec` LRU + div/mod),
     /// milliseconds. Understates the seed cost: warp accounting is omitted.
     baseline_wall_ms: f64,
@@ -202,10 +262,17 @@ struct BenchSim {
     serial_wall_ms: f64,
     /// Current engine at each measured worker count.
     threaded: Vec<ThreadRow>,
-    /// Best baseline speedup observed at >= 4 workers.
-    best_speedup_4_plus: f64,
+    /// Best baseline speedup observed at >= 4 workers (`null` when every
+    /// such count was skipped on this host).
+    best_speedup_4_plus: Option<f64>,
     /// Whether every worker count produced bit-identical metrics.
     deterministic: bool,
+    /// Arena-reuse before/after at 1 worker, on small tuner-shaped
+    /// launches (8 blocks, 400 launches per run) where per-launch context
+    /// setup is a real fraction of the work.
+    hot_loop: HotLoopBench,
+    /// Two-tier vs full-simulation tuning.
+    tuning: TuningBench,
     /// How to read the numbers on this host.
     note: String,
 }
@@ -221,6 +288,137 @@ fn launch(engine: &Engine, kernel: &SimWorkload) -> KernelMetrics {
         .submit(&mut engine.lock_context(), Workload::Kernel(kernel))
         .map(WorkloadMetrics::into_kernel)
         .expect("workload runs")
+}
+
+/// Like [`launch`] but against a caller-provided context, so the fresh-
+/// context baseline can pay the per-launch allocation the arena avoids.
+fn launch_with(engine: &Engine, ctx: &mut RunContext, kernel: &SimWorkload) -> KernelMetrics {
+    engine
+        .submit(ctx, Workload::Kernel(kernel))
+        .map(WorkloadMetrics::into_kernel)
+        .expect("workload runs")
+}
+
+/// Arena before/after at 1 worker: identical launches, one reusing the
+/// engine's context and one building a fresh `RunContext` each time.
+/// Measured on a *small* launch (8 blocks against the full-size L2 model),
+/// the shape tuner sweeps hammer: per-launch context setup — allocating
+/// and wiping the cache arrays — is a real fraction of such launches, and
+/// the recycled arena turns it into an O(1) epoch bump.
+fn bench_hot_loop(engine: &Engine) -> HotLoopBench {
+    let kernel = SimWorkload { blocks: 8 };
+    const SMALL_LAUNCHES: usize = 400;
+    let expect = launch(engine, &kernel);
+    let mut reused = f64::INFINITY;
+    let mut fresh = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for _ in 0..SMALL_LAUNCHES {
+            let m = launch(engine, &kernel);
+            assert_eq!(m, expect, "reused-context launches must be identical");
+        }
+        reused = reused.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        for _ in 0..SMALL_LAUNCHES {
+            let mut ctx = RunContext::new();
+            let m = launch_with(engine, &mut ctx, &kernel);
+            assert_eq!(m, expect, "context reuse must be transparent");
+        }
+        fresh = fresh.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    HotLoopBench {
+        reused_context_wall_ms: reused,
+        fresh_context_wall_ms: fresh,
+        arena_speedup: fresh / reused.max(1e-9),
+    }
+}
+
+/// Two-tier vs full-simulation tuning on a moderate power-law graph (the
+/// same workload the acceptance tests use).
+fn bench_tuning(spec: &GpuSpec) -> TuningBench {
+    let graph = barabasi_albert(2_000, 8, 42).expect("generator");
+    let input = extract(&graph, 96, 16, 10, AggOrder::UpdateThenAggregate);
+    let dim = input.aggregation_dim();
+    let est_cfg = EstimatorConfig::default();
+
+    // Pre-PR baseline: every candidate priced on the event-level engine,
+    // duplicates re-simulated (memoization off).
+    let raw_cfg = EstimatorConfig {
+        memoize: false,
+        ..est_cfg
+    };
+    let start = Instant::now();
+    let est = Estimator::new(input.clone(), spec.clone(), raw_cfg);
+    let full_best = est.tune_profiled(|p, e| {
+        aggregation_metrics(&graph, dim, p, e).map_or(f64::INFINITY, |m| m.time_ms)
+    });
+    let full_sim_unmemoized_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Same search with the fitness memo cache (satellite win on its own).
+    let start = Instant::now();
+    let est = Estimator::new(input.clone(), spec.clone(), est_cfg);
+    let memo_best = est.tune_profiled(|p, e| {
+        aggregation_metrics(&graph, dim, p, e).map_or(f64::INFINITY, |m| m.time_ms)
+    });
+    let full_sim_memoized_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        full_best, memo_best,
+        "memoization must not change the full-sim winner"
+    );
+
+    // The two-tier tuner end to end.
+    let tt_cfg = TwoTierConfig {
+        estimator: est_cfg,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let outcome = tune_two_tier(&input, spec, &tt_cfg, |p, e| {
+        aggregation_metrics(&graph, dim, p, e)
+    });
+    let two_tier_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Per-candidate scoring cost, each tier on the same finalist sample.
+    let sample: Vec<_> = outcome.pool.iter().take(3).map(|&(p, _)| p).collect();
+    const REPS: usize = 256;
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..REPS {
+        for p in &sample {
+            sink += outcome.model.predict_us(p);
+        }
+    }
+    std::hint::black_box(sink);
+    let fast_path_per_candidate_us =
+        start.elapsed().as_secs_f64() * 1e6 / (REPS * sample.len()) as f64;
+    let engine = Engine::new(spec.clone());
+    let start = Instant::now();
+    for p in &sample {
+        std::hint::black_box(aggregation_metrics(&graph, dim, p, &engine));
+    }
+    let full_sim_per_candidate_us = start.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
+
+    let full_sim_winner_ms =
+        aggregation_metrics(&graph, dim, &full_best, &engine).map_or(f64::INFINITY, |m| m.time_ms);
+    let band = outcome.model.error_band();
+    TuningBench {
+        graph: "barabasi_albert(2000 nodes, attach 8, seed 42), feat dim 96".into(),
+        full_sim_unmemoized_wall_ms,
+        full_sim_memoized_wall_ms,
+        two_tier_wall_ms,
+        tuner_speedup: full_sim_unmemoized_wall_ms / two_tier_wall_ms.max(1e-9),
+        calibration_error_band: band,
+        fast_path_per_candidate_us,
+        full_sim_per_candidate_us,
+        scoring_speedup: full_sim_per_candidate_us / fast_path_per_candidate_us.max(1e-9),
+        two_tier_winner_ms: outcome.best_engine_ms,
+        full_sim_winner_ms,
+        winner_within_band: outcome.best_engine_ms
+            <= full_sim_winner_ms * (1.0 + band.max(0.05)) + 1e-12,
+        engine_evals: outcome.engine_evals,
+        fast_evals: outcome.fast_evals,
+        memo_hits: outcome.memo_hits,
+    }
 }
 
 fn time_engine(engine: &Engine, kernel: &SimWorkload, expect: &KernelMetrics) -> f64 {
@@ -245,10 +443,25 @@ fn time_baseline(kernel: &SimWorkload, spec: &GpuSpec, warm: (u64, u64, u64)) ->
 
 fn main() {
     let kernel = SimWorkload { blocks: 512 };
+    // Detect host parallelism once: worker counts beyond it cannot beat
+    // the serial row (they just time-slice one core), so they are checked
+    // for determinism but not timed.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let timed_counts: Vec<usize> = WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t == 1 || t <= host_cpus)
+        .collect();
+    let skipped_worker_counts: Vec<usize> = WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|t| !timed_counts.contains(t))
+        .collect();
     let spec = GpuSpec::quadro_p6000();
 
-    let engines: Vec<Engine> = WORKER_COUNTS
+    // Determinism is verified at every worker count, timed or not: the
+    // bit-identity guarantee does not depend on the host having cores.
+    let check_engines: Vec<Engine> = WORKER_COUNTS
         .iter()
         .map(|&t| {
             Engine::builder(spec.clone())
@@ -260,17 +473,24 @@ fn main() {
     // Warm-ups: size each run context so steady state is allocation-free,
     // and record the metrics every timed launch must reproduce.
     let warm_baseline = baseline::launch(&kernel, &spec);
-    let serial_metrics = launch(&engines[0], &kernel);
+    let serial_metrics = launch(&check_engines[0], &kernel);
     let mut deterministic = true;
-    for engine in &engines[1..] {
+    for engine in &check_engines[1..] {
         deterministic &= launch(engine, &kernel) == serial_metrics;
     }
+
+    let engines: Vec<&Engine> = WORKER_COUNTS
+        .iter()
+        .zip(&check_engines)
+        .filter(|(t, _)| timed_counts.contains(t))
+        .map(|(_, e)| e)
+        .collect();
 
     // Interleave configurations round-robin so clock-speed drift over the
     // benchmark's lifetime (noisy shared hosts) biases no configuration;
     // report per-configuration best-of-rounds.
     let mut best_baseline = f64::INFINITY;
-    let mut best_engine = [f64::INFINITY; WORKER_COUNTS.len()];
+    let mut best_engine = vec![f64::INFINITY; timed_counts.len()];
     for _ in 0..RUNS {
         best_baseline = best_baseline.min(time_baseline(&kernel, &spec, warm_baseline));
         for (slot, engine) in best_engine.iter_mut().zip(&engines) {
@@ -280,7 +500,7 @@ fn main() {
 
     let baseline_wall_ms = best_baseline;
     let serial_wall_ms = best_engine[0];
-    let threaded: Vec<ThreadRow> = WORKER_COUNTS
+    let threaded: Vec<ThreadRow> = timed_counts
         .iter()
         .zip(&best_engine)
         .skip(1)
@@ -295,8 +515,23 @@ fn main() {
         .iter()
         .filter(|r| r.threads >= 4)
         .map(|r| r.speedup_vs_baseline)
-        .fold(0.0, f64::max);
+        .fold(None, |best: Option<f64>, s| {
+            Some(best.map_or(s, |b| b.max(s)))
+        });
 
+    let hot_loop = bench_hot_loop(&check_engines[0]);
+    let tuning = bench_tuning(&spec);
+
+    let skip_note = if skipped_worker_counts.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " Worker counts {skipped_worker_counts:?} were skipped: this host has \
+             only {host_cpus} CPU(s), so they cannot win and their timings \
+             would be noise (best_speedup_4_plus is null when every >= 4 \
+             count is skipped)."
+        )
+    };
     let result = BenchSim {
         workload: format!(
             "{} blocks x 8 warps: sliding 16 KB window + 8x32-lane scattered \
@@ -306,18 +541,21 @@ fn main() {
         launches_per_run: LAUNCHES_PER_RUN,
         runs: RUNS,
         host_cpus,
+        skipped_worker_counts,
         baseline_wall_ms,
         serial_wall_ms,
         threaded,
         best_speedup_4_plus,
         deterministic,
+        hot_loop,
+        tuning,
         note: format!(
             "speedup_vs_baseline is the algorithmic before/after (seed hot \
              path vs current engine, single thread); speedup_vs_serial is \
              thread scaling and is bounded by host_cpus (= {host_cpus} \
              here, so worker counts above it cannot beat 1.0x). The \
              baseline omits the seed's warp-cost arithmetic, so it \
-             understates the full seed launch cost."
+             understates the full seed launch cost.{skip_note}"
         ),
     };
 
@@ -325,12 +563,32 @@ fn main() {
         result.deterministic,
         "metrics must be bit-identical across worker counts"
     );
+    assert!(
+        result.tuning.winner_within_band,
+        "two-tier winner must sit within the calibration band of the \
+         full-sim winner"
+    );
 
     let json = serde_json::to_string_pretty(&result).expect("serializes");
     std::fs::write("BENCH_sim.json", &json).expect("BENCH_sim.json written");
     println!("{json}");
     println!(
-        "\nbaseline {:.2} ms, serial {:.2} ms; best baseline speedup at >= 4 workers: {:.2}x",
-        result.baseline_wall_ms, result.serial_wall_ms, result.best_speedup_4_plus
+        "\nbaseline {:.2} ms, serial {:.2} ms; best baseline speedup at >= 4 workers: {}",
+        result.baseline_wall_ms,
+        result.serial_wall_ms,
+        result
+            .best_speedup_4_plus
+            .map_or("n/a (skipped on this host)".into(), |s| format!("{s:.2}x")),
+    );
+    println!(
+        "hot loop: reused {:.2} ms vs fresh {:.2} ms ({:.2}x); tuner: two-tier {:.0} ms \
+         vs full-sim {:.0} ms ({:.1}x), band {:.1}%",
+        result.hot_loop.reused_context_wall_ms,
+        result.hot_loop.fresh_context_wall_ms,
+        result.hot_loop.arena_speedup,
+        result.tuning.two_tier_wall_ms,
+        result.tuning.full_sim_unmemoized_wall_ms,
+        result.tuning.tuner_speedup,
+        result.tuning.calibration_error_band * 100.0,
     );
 }

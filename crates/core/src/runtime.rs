@@ -20,6 +20,7 @@ use crate::memory::organize::{organize_shared, SharedLayout};
 use crate::tuning::estimator::{Estimator, EstimatorConfig};
 use crate::tuning::model;
 use crate::tuning::params::RuntimeParams;
+use crate::tuning::two_tier::{aggregation_metrics, tune_two_tier, TwoTierConfig};
 use crate::workload::group::{partition_groups, NeighborGroup};
 use crate::Result;
 
@@ -31,6 +32,10 @@ pub enum TuneStrategy {
     ModelOnly,
     /// Evolutionary Estimating (Section 7.2) seeded by the analytical model.
     Evolutionary(EstimatorConfig),
+    /// Two-tier tuning: explore on the calibrated closed-form model,
+    /// verify only the top-K finalists with event-level aggregation
+    /// launches (see [`crate::tuning::two_tier`]).
+    TwoTier(TwoTierConfig),
     /// Fixed user-provided parameters (the paper's manual-tuning interface).
     Manual(RuntimeParams),
 }
@@ -129,6 +134,13 @@ impl Advisor {
             TuneStrategy::ModelOnly => model::decide(&input, &config.spec),
             TuneStrategy::Evolutionary(cfg) => {
                 Estimator::new(input.clone(), config.spec.clone(), *cfg).tune()
+            }
+            TuneStrategy::TwoTier(cfg) => {
+                let dim = input.aggregation_dim();
+                tune_two_tier(&input, &config.spec, cfg, |p, e| {
+                    aggregation_metrics(graph, dim, p, e)
+                })
+                .best
             }
             TuneStrategy::Manual(p) => {
                 p.validate()?;

@@ -1,0 +1,410 @@
+//! Calibrated closed-form latency model: the two-tier tuner's fast path.
+//!
+//! The paper's Eq. 2 scores candidates on a *relative* scale, which is
+//! enough to rank a coarse grid but cannot answer "how many microseconds
+//! does this launch take" — and therefore cannot be checked against the
+//! event-level engine. This module extends the analytical model into an
+//! absolute one: [`raw_phases`] derives structural cycle estimates for the
+//! same four phases the engine attributes ([`PhaseBreakdown`]: compute,
+//! DRAM streaming, atomic serialization, launch overhead), and
+//! [`AnalyticModel::calibrate`] fits one scale coefficient per phase
+//! against a handful of real engine runs by least squares through the
+//! origin. Scoring a candidate is then four multiplications — microseconds
+//! per candidate instead of a full event-level simulation — while the
+//! reported relative-error band says how far the absolute prediction may
+//! sit from the engine on the calibrated input.
+//!
+//! The structural forms mirror the engine's cost model (see
+//! `crates/gpu/src/engine.rs` and DESIGN.md "Two-tier tuning"):
+//!
+//! - **compute**: per-block critical path. A block hosts `gpb = tpb / dw`
+//!   groups spread over `tpb / 32` warps; each group issues
+//!   `gs * ceil(D / dw)` memory transactions and exposes one
+//!   latency-hiding-adjusted DRAM stall per neighbor row. Blocks round
+//!   onto `num_sms` SMs.
+//! - **dram**: bytes over device bandwidth, with an L2 hit fraction
+//!   interpolated from how much of the feature matrix fits in cache, plus
+//!   flush write traffic (per group with shared staging, per edge
+//!   without).
+//! - **atomic**: the hottest output row's flush serial chain —
+//!   `ceil(max_degree / gs)` flushes, merged per block when shared
+//!   staging is on, each paying the serialization cost.
+//! - **launch**: the fixed kernel-launch overhead.
+//!
+//! Calibration absorbs what the closed forms deliberately leave out
+//! (cache geometry, placement slack, contention constants); the forms
+//! only need the right *shape* in each knob for ranking to survive, which
+//! is the property the two-tier proptest pins down.
+
+use gnnadvisor_gpu::{GpuSpec, PhaseBreakdown};
+
+use crate::input::InputInfo;
+use crate::tuning::params::RuntimeParams;
+
+/// Documented ceiling on the calibrated relative-error band for the bench
+/// workloads (see DESIGN.md): calibration must explain the engine's total
+/// latency on its own probe set to within this factor. CI and the unit
+/// tests assert it.
+pub const DOCUMENTED_ERROR_BAND: f64 = 0.35;
+
+/// Structural per-phase cycle estimates for one candidate, before
+/// calibration. All values are in (uncalibrated) device cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawPhases {
+    /// SM-time critical path: issue work + exposed memory stalls.
+    pub compute: f64,
+    /// Device-wide DRAM bandwidth demand.
+    pub dram: f64,
+    /// Hottest-line atomic serial chain.
+    pub atomic: f64,
+    /// Fixed launch overhead.
+    pub launch: f64,
+}
+
+impl RawPhases {
+    /// Sum of the four phases.
+    pub fn total(&self) -> f64 {
+        self.compute + self.dram + self.atomic + self.launch
+    }
+
+    fn get(&self, phase: usize) -> f64 {
+        match phase {
+            0 => self.compute,
+            1 => self.dram,
+            2 => self.atomic,
+            _ => self.launch,
+        }
+    }
+}
+
+/// Derives the structural phase estimates for `params` on `input`/`spec`.
+pub fn raw_phases(params: &RuntimeParams, input: &InputInfo, spec: &GpuSpec) -> RawPhases {
+    let n = input.num_nodes.max(1) as f64;
+    let e = input.num_edges.max(1) as f64;
+    let d = input.aggregation_dim().max(1) as f64;
+    let gs = params.group_size.max(1) as f64;
+    let dw = (params.dim_workers.max(1) as f64).min(32.0);
+    let tpb = params.threads_per_block.max(32) as f64;
+    let gpb = (tpb / dw).max(1.0);
+    let sms = spec.num_sms.max(1) as f64;
+
+    // Neighbor groups: full groups per edge plus the expected ragged tail
+    // (each node's last group is half full on average).
+    let groups = e / gs + n * (gs - 1.0) / (2.0 * gs);
+    let blocks = (groups / gpb).ceil().max(1.0);
+
+    // --- compute: per-block critical path times SM rounds -------------
+    // Occupancy-limited latency hiding, as in the engine: resident blocks
+    // per SM fall as tpb grows, and roughly half have runnable warps.
+    let resident = (spec.max_threads_per_sm as f64 / tpb).max(1.0);
+    let hiding = (spec.memory_parallelism as f64).min((resident / 2.0).max(1.0));
+    // One warp hosts `32 / dw` dimension-teams, each walking its own
+    // group — small `dw` serializes more groups through every warp
+    // (`gpb / (tpb/32) = 32 / dw` for any block shape). Per group a team
+    // issues `gs * ceil(D/dw)` transactions and exposes one
+    // occupancy-hidden DRAM latency per neighbor row.
+    let groups_per_warp = (32.0 / dw).max(1.0);
+    let row_transactions = (d / dw).ceil();
+    let issue_per_group = gs * row_transactions * spec.transaction_issue_cycles as f64;
+    let stall_per_group = gs * spec.dram_latency_cycles as f64 / hiding;
+    // The engine's per-block cost is the max of three bounds: the
+    // critical warp's path, the scheduler issue bound over the whole
+    // block, and the aggregate stall-throughput bound (the SM keeps
+    // ~hiding × 8 requests in flight).
+    let critical = groups_per_warp * (issue_per_group + stall_per_group);
+    let issue_bound = gpb * issue_per_group / spec.warp_schedulers.max(1) as f64;
+    let stall_bound = gpb * gs * spec.dram_latency_cycles as f64 / (hiding * 8.0);
+    let block_cycles =
+        critical.max(issue_bound).max(stall_bound) + spec.block_overhead_cycles as f64;
+    let rounds = (blocks / sms).ceil();
+    let compute = rounds * block_cycles;
+
+    // --- dram: bytes over bandwidth -----------------------------------
+    let row_bytes = d * 4.0;
+    let feature_bytes = n * row_bytes;
+    // Fraction of row reads served by the L2 once it is warm.
+    let hit = (spec.l2_bytes as f64 / feature_bytes).clamp(0.0, 1.0);
+    // Cold misses fetch every distinct row once; the re-reads miss at the
+    // interpolated rate.
+    let read_bytes = (n + (1.0 - hit) * (e - n).max(0.0)) * row_bytes;
+    // Output flush traffic: one row write per group with shared staging,
+    // one per edge without (direct atomic accumulation writes through).
+    let flushes = if params.use_shared { groups } else { e };
+    let write_bytes = flushes * row_bytes;
+    let dram = (read_bytes + write_bytes) / spec.dram_bytes_per_cycle().max(1e-9);
+
+    // --- atomic: hottest-row serial chain -----------------------------
+    let hub_groups = (input.max_degree.max(1) as f64 / gs).ceil();
+    // Shared staging merges a block's flushes of the same row into one.
+    let hub_rounds = if params.use_shared {
+        (hub_groups / gpb).ceil()
+    } else {
+        hub_groups
+    };
+    let atomic = hub_rounds * spec.atomic_serialize_cycles as f64;
+
+    let launch = spec.kernel_launch_cycles as f64;
+
+    RawPhases {
+        compute,
+        dram,
+        atomic,
+        launch,
+    }
+}
+
+/// Per-phase scale coefficients fit by calibration (dimensionless;
+/// `1.0` = the structural estimate was already exact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCoeffs {
+    pub compute: f64,
+    pub dram: f64,
+    pub atomic: f64,
+    pub launch: f64,
+}
+
+impl PhaseCoeffs {
+    fn get(&self, phase: usize) -> f64 {
+        match phase {
+            0 => self.compute,
+            1 => self.dram,
+            2 => self.atomic,
+            _ => self.launch,
+        }
+    }
+
+    fn set(&mut self, phase: usize, value: f64) {
+        match phase {
+            0 => self.compute = value,
+            1 => self.dram = value,
+            2 => self.atomic = value,
+            _ => self.launch = value,
+        }
+    }
+}
+
+impl Default for PhaseCoeffs {
+    fn default() -> Self {
+        Self {
+            compute: 1.0,
+            dram: 1.0,
+            atomic: 1.0,
+            launch: 1.0,
+        }
+    }
+}
+
+/// The calibrated fast-path model: structural phases times fitted
+/// coefficients, bound to one input and device.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    input: InputInfo,
+    spec: GpuSpec,
+    coeffs: PhaseCoeffs,
+    error_band: f64,
+}
+
+impl AnalyticModel {
+    /// An uncalibrated model (all coefficients 1, infinite error band).
+    /// Rankings still work; absolute predictions are structural guesses.
+    pub fn uncalibrated(input: InputInfo, spec: GpuSpec) -> Self {
+        Self {
+            input,
+            spec,
+            coeffs: PhaseCoeffs::default(),
+            error_band: f64::INFINITY,
+        }
+    }
+
+    /// Fits one coefficient per phase against measured engine runs by
+    /// least squares through the origin
+    /// (`c_p = Σ measured_p · raw_p / Σ raw_p²`), then records the
+    /// relative-error band: the worst `|predicted − measured| / measured`
+    /// total latency over the calibration probes. A phase whose structural
+    /// estimate is zero on every probe keeps its coefficient at 1.
+    pub fn calibrate(
+        input: InputInfo,
+        spec: GpuSpec,
+        probes: &[(RuntimeParams, PhaseBreakdown)],
+    ) -> Self {
+        let mut model = Self::uncalibrated(input, spec);
+        if probes.is_empty() {
+            return model;
+        }
+        let raws: Vec<RawPhases> = probes
+            .iter()
+            .map(|(p, _)| raw_phases(p, &model.input, &model.spec))
+            .collect();
+        for phase in 0..4 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for ((_, measured), raw) in probes.iter().zip(&raws) {
+                let m = match phase {
+                    0 => measured.compute_cycles,
+                    1 => measured.dram_cycles,
+                    2 => measured.atomic_cycles,
+                    _ => measured.launch_cycles,
+                } as f64;
+                let r = raw.get(phase);
+                num += m * r;
+                den += r * r;
+            }
+            if den > 0.0 {
+                model.coeffs.set(phase, num / den);
+            }
+        }
+        let mut band: f64 = 0.0;
+        for ((_, measured), raw) in probes.iter().zip(&raws) {
+            let total = measured.total_cycles() as f64;
+            if total <= 0.0 {
+                continue;
+            }
+            let predicted: f64 = (0..4).map(|ph| model.coeffs.get(ph) * raw.get(ph)).sum();
+            band = band.max((predicted - total).abs() / total);
+        }
+        model.error_band = band;
+        model
+    }
+
+    /// Predicted total latency of `params` in device cycles.
+    pub fn predict_cycles(&self, params: &RuntimeParams) -> f64 {
+        let raw = raw_phases(params, &self.input, &self.spec);
+        (0..4).map(|ph| self.coeffs.get(ph) * raw.get(ph)).sum()
+    }
+
+    /// Predicted total latency of `params` in microseconds.
+    pub fn predict_us(&self, params: &RuntimeParams) -> f64 {
+        self.predict_cycles(params) / (self.spec.clock_ghz * 1e3)
+    }
+
+    /// The fitted per-phase coefficients.
+    pub fn coeffs(&self) -> &PhaseCoeffs {
+        &self.coeffs
+    }
+
+    /// Worst relative total-latency error over the calibration probes
+    /// (infinite when uncalibrated).
+    pub fn error_band(&self) -> f64 {
+        self.error_band
+    }
+
+    /// The input the model was built for.
+    pub fn input(&self) -> &InputInfo {
+        &self.input
+    }
+
+    /// The device the model was built for.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::AggOrder;
+
+    fn input() -> InputInfo {
+        InputInfo {
+            num_nodes: 100_000,
+            num_edges: 1_200_000,
+            avg_degree: 12.0,
+            degree_stddev: 20.0,
+            max_degree: 800,
+            feat_dim: 96,
+            hidden_dim: 16,
+            num_classes: 22,
+            agg_order: AggOrder::UpdateThenAggregate,
+        }
+    }
+
+    fn p(gs: usize, tpb: u32, dw: u32) -> RuntimeParams {
+        RuntimeParams {
+            group_size: gs,
+            threads_per_block: tpb,
+            dim_workers: dw,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn raw_phases_are_finite_and_positive() {
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        for params in [p(1, 32, 1), p(4, 256, 16), p(128, 1024, 32)] {
+            let raw = raw_phases(&params, &inp, &spec);
+            for ph in [raw.compute, raw.dram, raw.atomic, raw.launch] {
+                assert!(ph.is_finite() && ph >= 0.0, "{params:?}: {raw:?}");
+            }
+            assert!(raw.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_edges_cost_more_cycles() {
+        let spec = GpuSpec::quadro_p6000();
+        let small = input();
+        let mut big = input();
+        big.num_edges *= 4;
+        big.avg_degree *= 4.0;
+        let params = p(4, 256, 16);
+        assert!(
+            raw_phases(&params, &big, &spec).total() > raw_phases(&params, &small, &spec).total()
+        );
+    }
+
+    #[test]
+    fn shared_staging_cuts_flush_traffic_and_hub_serialization() {
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        let on = p(4, 256, 16);
+        let off = RuntimeParams {
+            use_shared: false,
+            ..on
+        };
+        let raw_on = raw_phases(&on, &inp, &spec);
+        let raw_off = raw_phases(&off, &inp, &spec);
+        assert!(raw_on.dram < raw_off.dram, "per-group flush beats per-edge");
+        assert!(raw_on.atomic < raw_off.atomic, "block-merged hub flushes");
+    }
+
+    #[test]
+    fn calibration_fits_a_synthetic_linear_target_exactly() {
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        // Measurements manufactured as exact multiples of the structural
+        // estimates: calibration must recover the multipliers and report a
+        // (near-)zero band.
+        let truth = [1.7, 0.4, 3.0, 1.0];
+        let probes: Vec<(RuntimeParams, PhaseBreakdown)> =
+            [p(2, 128, 8), p(16, 256, 16), p(64, 512, 32)]
+                .into_iter()
+                .map(|params| {
+                    let raw = raw_phases(&params, &inp, &spec);
+                    let pb = PhaseBreakdown {
+                        compute_cycles: (truth[0] * raw.compute) as u64,
+                        dram_cycles: (truth[1] * raw.dram) as u64,
+                        atomic_cycles: (truth[2] * raw.atomic) as u64,
+                        launch_cycles: (truth[3] * raw.launch) as u64,
+                    };
+                    (params, pb)
+                })
+                .collect();
+        let model = AnalyticModel::calibrate(inp, spec, &probes);
+        assert!((model.coeffs().compute - truth[0]).abs() < 0.05);
+        assert!((model.coeffs().dram - truth[1]).abs() < 0.05);
+        assert!((model.coeffs().atomic - truth[2]).abs() < 0.05);
+        assert!(model.error_band() < 0.01, "band = {}", model.error_band());
+    }
+
+    #[test]
+    fn uncalibrated_model_has_infinite_band_but_finite_predictions() {
+        let model = AnalyticModel::uncalibrated(input(), GpuSpec::quadro_p6000());
+        assert!(model.error_band().is_infinite());
+        let us = model.predict_us(&p(4, 256, 16));
+        assert!(us.is_finite() && us > 0.0);
+        assert!(
+            (model.predict_cycles(&p(4, 256, 16)) - us * model.spec().clock_ghz * 1e3).abs() < 1e-6
+        );
+    }
+}

@@ -11,6 +11,8 @@
 //! this is the "optimization loop" of Figure 1 (kernel & runtime crafter →
 //! GPU profiling → performance evaluator).
 
+use std::collections::HashMap;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,6 +36,14 @@ pub struct EstimatorConfig {
     pub mutation_rate: f64,
     /// RNG seed (the search is fully deterministic given the seed).
     pub seed: u64,
+    /// Memoize candidate fitness: survivors re-enter every generation and
+    /// crossover re-draws lattice points, so duplicate candidates are
+    /// common — with memoization each distinct candidate is evaluated at
+    /// most once. Scores are pure functions of the candidate (both the
+    /// analytical model and the deterministic simulator), so this never
+    /// changes the search result; disable it only to time the
+    /// un-memoized baseline.
+    pub memoize: bool,
 }
 
 impl Default for EstimatorConfig {
@@ -44,8 +54,27 @@ impl Default for EstimatorConfig {
             survivors: 8,
             mutation_rate: 0.15,
             seed: 0xAD71,
+            memoize: true,
         }
     }
+}
+
+/// Evaluation counters from one search run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SearchStats {
+    /// Distinct candidates the fitness function actually evaluated.
+    pub unique_evals: usize,
+    /// Evaluations answered from the memo cache instead of re-running.
+    pub memo_hits: usize,
+}
+
+/// Full result of one evolutionary search: the winner, the evaluation
+/// counters, and every distinct candidate's score (the memo cache) —
+/// the two-tier tuner ranks finalists straight out of `evals`.
+pub(crate) struct SearchOutcome {
+    pub best: RuntimeParams,
+    pub stats: SearchStats,
+    pub evals: HashMap<RuntimeParams, f64>,
 }
 
 /// The evolutionary tuner.
@@ -80,12 +109,26 @@ impl Estimator {
     /// the whole search shares a single
     /// [`gnnadvisor_gpu::RunContext`] — one set of cache arrays, hotspot
     /// maps, and warp accumulators — instead of allocating per candidate.
+    /// Duplicate candidates drawn across generations are answered from the
+    /// memo cache (see [`EstimatorConfig::memoize`]) and never
+    /// re-simulated.
     pub fn tune_profiled(
         &self,
         mut latency: impl FnMut(&RuntimeParams, &Engine) -> f64,
     ) -> RuntimeParams {
+        self.tune_profiled_stats(&mut latency).0
+    }
+
+    /// [`Estimator::tune_profiled`] plus the evaluation counters: how many
+    /// distinct candidates were simulated and how many evaluations the
+    /// memo cache absorbed.
+    pub fn tune_profiled_stats(
+        &self,
+        mut latency: impl FnMut(&RuntimeParams, &Engine) -> f64,
+    ) -> (RuntimeParams, SearchStats) {
         let engine = Engine::new(self.spec.clone());
-        self.tune_with(|p| latency(p, &engine))
+        let outcome = self.search(|p| latency(p, &engine));
+        (outcome.best, outcome.stats)
     }
 
     /// Profile-guided search scored on the phase-attributed breakdown
@@ -117,7 +160,24 @@ impl Estimator {
 
     /// Runs the search with a caller-provided latency function (lower is
     /// better), e.g. an actual simulated kernel launch.
-    pub fn tune_with(&self, mut latency: impl FnMut(&RuntimeParams) -> f64) -> RuntimeParams {
+    pub fn tune_with(&self, latency: impl FnMut(&RuntimeParams) -> f64) -> RuntimeParams {
+        self.search(latency).best
+    }
+
+    /// [`Estimator::tune_with`] plus the evaluation counters.
+    pub fn tune_with_stats(
+        &self,
+        latency: impl FnMut(&RuntimeParams) -> f64,
+    ) -> (RuntimeParams, SearchStats) {
+        let outcome = self.search(latency);
+        (outcome.best, outcome.stats)
+    }
+
+    /// The search loop proper. Candidate scores are memoized (when
+    /// [`EstimatorConfig::memoize`] is set) in a map keyed on the
+    /// candidate itself; infeasible candidates never reach the fitness
+    /// function or the cache.
+    pub(crate) fn search(&self, mut latency: impl FnMut(&RuntimeParams) -> f64) -> SearchOutcome {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut population: Vec<RuntimeParams> = (0..self.config.population)
             .map(|_| self.random_candidate(&mut rng))
@@ -125,6 +185,8 @@ impl Estimator {
 
         let mut best = population[0];
         let mut best_score = f64::INFINITY;
+        let mut stats = SearchStats::default();
+        let mut evals: HashMap<RuntimeParams, f64> = HashMap::new();
 
         for _gen in 0..self.config.iterations {
             // Score, keeping only feasible candidates.
@@ -134,7 +196,24 @@ impl Estimator {
                     let feasible = p.validate().is_ok()
                         && model::respects_thread_capacity(&p, &self.input, &self.spec)
                         && model::respects_shared_capacity(&p, &self.input, &self.spec);
-                    let s = if feasible { latency(&p) } else { f64::INFINITY };
+                    let s = if !feasible {
+                        f64::INFINITY
+                    } else if self.config.memoize {
+                        if let Some(&cached) = evals.get(&p) {
+                            stats.memo_hits += 1;
+                            cached
+                        } else {
+                            let s = latency(&p);
+                            stats.unique_evals += 1;
+                            evals.insert(p, s);
+                            s
+                        }
+                    } else {
+                        let s = latency(&p);
+                        stats.unique_evals += 1;
+                        evals.insert(p, s);
+                        s
+                    };
                     (s, p)
                 })
                 .collect();
@@ -167,10 +246,9 @@ impl Estimator {
         // Fall back to the analytical decision if the search never found a
         // feasible point (degenerate inputs).
         if best_score.is_infinite() {
-            model::decide(&self.input, &self.spec)
-        } else {
-            best
+            best = model::decide(&self.input, &self.spec);
         }
+        SearchOutcome { best, stats, evals }
     }
 
     fn random_candidate(&self, rng: &mut SmallRng) -> RuntimeParams {
@@ -301,6 +379,7 @@ mod tests {
             survivors: 2,
             mutation_rate: 0.0,
             seed: 3,
+            ..Default::default()
         };
         let spec = GpuSpec::quadro_p6000();
         let inp = input();
@@ -349,6 +428,46 @@ mod tests {
             gemm(e, 1_000, p.threads_per_block as usize, 16).phases
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memoization_never_reevaluates_and_preserves_the_result() {
+        let spec = GpuSpec::quadro_p6000();
+        let inp = input();
+        let mut seen = std::collections::HashSet::new();
+        let mut calls = 0usize;
+        let est = Estimator::new(inp.clone(), spec.clone(), EstimatorConfig::default());
+        let (memoized, stats) = est.tune_with_stats(|p| {
+            calls += 1;
+            assert!(seen.insert(*p), "candidate {p:?} was re-evaluated");
+            model::estimated_latency(p, &inp, &spec)
+        });
+        assert_eq!(calls, stats.unique_evals);
+        assert!(
+            stats.memo_hits > 0,
+            "survivors re-enter every generation, so the default search \
+             must produce duplicate draws for the cache to absorb"
+        );
+
+        // Turning memoization off re-runs duplicates but picks the same
+        // winner (the fitness is pure).
+        let mut raw_calls = 0usize;
+        let cfg = EstimatorConfig {
+            memoize: false,
+            ..Default::default()
+        };
+        let est_raw = Estimator::new(inp.clone(), spec.clone(), cfg);
+        let (unmemoized, raw_stats) = est_raw.tune_with_stats(|p| {
+            raw_calls += 1;
+            model::estimated_latency(p, &inp, &spec)
+        });
+        assert_eq!(unmemoized, memoized);
+        assert_eq!(raw_stats.memo_hits, 0);
+        assert_eq!(
+            raw_calls,
+            stats.unique_evals + stats.memo_hits,
+            "the memo cache must absorb exactly the duplicate evaluations"
+        );
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Design optimization (Section 7): the analytical *Modeling* of Eq. 2–4
-//! and the evolutionary *Estimating* search.
+//! Design optimization (Section 7): the analytical *Modeling* of Eq. 2–4,
+//! the evolutionary *Estimating* search, and the two-tier tuner that
+//! explores on a calibrated closed-form model and verifies finalists on
+//! the event-level engine.
 
+pub mod analytic;
 pub mod estimator;
 pub mod model;
 pub mod params;
+pub mod two_tier;
 
-pub use estimator::{Estimator, EstimatorConfig};
+pub use analytic::{AnalyticModel, PhaseCoeffs, RawPhases, DOCUMENTED_ERROR_BAND};
+pub use estimator::{Estimator, EstimatorConfig, SearchStats};
 pub use model::{estimated_latency, respects_shared_capacity, respects_thread_capacity};
 pub use params::RuntimeParams;
+pub use two_tier::{aggregation_metrics, tune_two_tier, Finalist, TwoTierConfig, TwoTierOutcome};

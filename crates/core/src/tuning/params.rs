@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::{CoreError, Result};
 
 /// The tunable knobs GNNAdvisor exposes to users and to its auto-tuner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RuntimeParams {
     /// Group size `gs`: neighbors per group (Section 5.1).
     pub group_size: usize,

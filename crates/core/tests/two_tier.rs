@@ -1,0 +1,124 @@
+//! Two-tier agreement properties: across random inputs and devices, the
+//! calibrated fast path must keep enough ranking fidelity that its top-1
+//! candidate survives engine verification near the top of the pool, and
+//! the calibration error band must stay within the documented bound on
+//! the bench workload.
+
+use proptest::prelude::*;
+
+use gnnadvisor_core::input::{extract, AggOrder};
+use gnnadvisor_core::tuning::{
+    aggregation_metrics, tune_two_tier, EstimatorConfig, TwoTierConfig, DOCUMENTED_ERROR_BAND,
+};
+use gnnadvisor_gpu::{Engine, GpuSpec};
+use gnnadvisor_graph::generators::barabasi_albert;
+
+fn small_search() -> TwoTierConfig {
+    TwoTierConfig {
+        estimator: EstimatorConfig {
+            population: 8,
+            iterations: 4,
+            survivors: 4,
+            ..Default::default()
+        },
+        top_k: 4,
+        probes: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random graphs, feature widths, and devices, the fast-path
+    /// winner must land in the engine-verified top-K of the explored
+    /// candidate pool (K = a third of the pool, at least the finalist
+    /// count) — the property that makes verifying only K finalists safe.
+    #[test]
+    fn fast_path_top1_lands_in_engine_top_k(
+        seed in 0u64..1_000,
+        nodes in 300usize..900,
+        attach in 2usize..9,
+        feat in 16usize..128,
+        device in 0u8..4,
+    ) {
+        let graph = barabasi_albert(nodes, attach, seed).expect("generator");
+        let mut spec = if device % 2 == 0 {
+            GpuSpec::quadro_p6000()
+        } else {
+            GpuSpec::tesla_v100()
+        };
+        if device >= 2 {
+            // A cache-starved variant: locality and the hit-fraction term
+            // actually bind.
+            spec.l2_bytes /= 16;
+        }
+        let input = extract(&graph, feat, 16, 10, AggOrder::UpdateThenAggregate);
+        let dim = input.aggregation_dim();
+        let cfg = small_search();
+        let out = tune_two_tier(&input, &spec, &cfg, |p, e| {
+            aggregation_metrics(&graph, dim, p, e)
+        });
+        prop_assert!(!out.pool.is_empty(), "search must explore candidates");
+
+        // Engine-score the whole explored pool (ground truth).
+        let engine = Engine::new(spec.clone());
+        let mut scored: Vec<(f64, usize)> = out
+            .pool
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| {
+                let ms = aggregation_metrics(&graph, dim, p, &engine)
+                    .map_or(f64::INFINITY, |m| m.time_ms);
+                (ms, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let best_ms = scored[0].0;
+
+        let fast_rank = scored
+            .iter()
+            .position(|&(_, i)| out.pool[i].0 == out.fast_best)
+            .expect("fast winner was drawn from the pool");
+        let k = cfg.top_k.max(out.pool.len().div_ceil(3));
+        let fast_ms = scored
+            .iter()
+            .find(|&&(_, i)| out.pool[i].0 == out.fast_best)
+            .map(|&(ms, _)| ms)
+            .unwrap();
+        // Ranking fidelity: top-1 sits in the engine's top-K, or is at
+        // worst marginally slower than the engine's best (rank noise among
+        // near-ties is fine; missing a 2x win is not).
+        prop_assert!(
+            fast_rank < k || fast_ms <= best_ms * 1.25,
+            "fast top-1 {:?} ranked {}/{} on the engine ({} ms vs best {} ms)",
+            out.fast_best,
+            fast_rank + 1,
+            out.pool.len(),
+            fast_ms,
+            best_ms
+        );
+
+        // And the verified winner can never be worse than the fast
+        // winner's own engine latency.
+        prop_assert!(out.best_engine_ms <= fast_ms + 1e-12);
+    }
+}
+
+/// The calibrated error band on the bench workload is finite and within
+/// the bound DESIGN.md documents ([`DOCUMENTED_ERROR_BAND`]).
+#[test]
+fn calibrated_band_is_finite_and_within_documented_bound() {
+    let graph = barabasi_albert(2_000, 8, 42).expect("generator");
+    let input = extract(&graph, 96, 16, 10, AggOrder::UpdateThenAggregate);
+    let dim = input.aggregation_dim();
+    let spec = GpuSpec::quadro_p6000();
+    let out = tune_two_tier(&input, &spec, &small_search(), |p, e| {
+        aggregation_metrics(&graph, dim, p, e)
+    });
+    let band = out.model.error_band();
+    assert!(band.is_finite(), "calibration must produce a finite band");
+    assert!(
+        band <= DOCUMENTED_ERROR_BAND,
+        "band {band} exceeds the documented bound {DOCUMENTED_ERROR_BAND}"
+    );
+}

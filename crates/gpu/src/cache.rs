@@ -13,6 +13,14 @@
 //! over two flat arrays with no `Vec::remove`/`insert` shifting, and lets a
 //! cache be re-geometried in place so run contexts can recycle the
 //! allocation across kernel launches.
+//!
+//! Invalidation is epoch-batched: an entry is valid only if its stamp is
+//! at least the current `epoch`, so wiping the cache between launches is a
+//! single epoch bump instead of an O(sets × ways) refill of both arrays.
+//! Stale entries keep their (pre-epoch) stamps, which are older than any
+//! live stamp, so the min-stamp victim scan still evicts them first —
+//! observable hit/miss behaviour is identical to a physically cleared
+//! cache.
 
 /// Result of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +49,10 @@ pub struct SetAssocCache {
     /// ever compared within one set, where they are strictly increasing in
     /// access order, so a single clock yields exactly per-set LRU.
     tick: u64,
+    /// Entries with `stamp < epoch` are stale (invalid): bumping the epoch
+    /// past the clock invalidates every line in O(1). Ticks start at 1 and
+    /// the epoch at 1, so freshly built arrays (stamp 0) start invalid.
+    epoch: u64,
     num_sets: usize,
     ways: usize,
     line_bytes: u64,
@@ -74,6 +86,7 @@ impl SetAssocCache {
             tags: vec![EMPTY; num_sets * ways],
             stamps: vec![0; num_sets * ways],
             tick: 0,
+            epoch: 1,
             num_sets,
             ways,
             line_bytes: line_bytes as u64,
@@ -87,6 +100,9 @@ impl SetAssocCache {
 
     /// Reshapes the cache in place, invalidating all lines and zeroing the
     /// counters, while recycling the existing allocations where possible.
+    /// When the geometry is unchanged — the common case for a run context
+    /// recycled across same-shaped launches — this is an O(1) epoch bump
+    /// rather than an O(sets × ways) array refill.
     /// Same geometry validation as [`SetAssocCache::new`].
     pub fn reset_geometry(&mut self, num_sets: usize, ways: usize, line_bytes: usize) {
         assert!(num_sets > 0 && ways > 0, "cache geometry must be non-zero");
@@ -94,6 +110,10 @@ impl SetAssocCache {
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
+        if num_sets == self.num_sets && ways == self.ways && line_bytes as u64 == self.line_bytes {
+            self.clear();
+            return;
+        }
         self.num_sets = num_sets;
         self.ways = ways;
         self.line_bytes = line_bytes as u64;
@@ -105,15 +125,16 @@ impl SetAssocCache {
         self.stamps.clear();
         self.stamps.resize(num_sets * ways, 0);
         self.tick = 0;
+        self.epoch = 1;
         self.hits = 0;
         self.misses = 0;
     }
 
     /// Invalidates every line and zeroes the counters, keeping geometry.
+    /// O(1): stale entries are left in place and filtered by the epoch
+    /// check on probe (see the module docs).
     pub fn clear(&mut self) {
-        self.tags.fill(EMPTY);
-        self.stamps.fill(0);
-        self.tick = 0;
+        self.epoch = self.tick + 1;
         self.hits = 0;
         self.misses = 0;
     }
@@ -132,10 +153,17 @@ impl SetAssocCache {
 
     /// Accesses one byte address; the whole containing line is touched.
     pub fn access(&mut self, addr: u64) -> Access {
-        self.access_line(addr >> self.line_shift)
+        let result = self.access_line(addr >> self.line_shift);
+        match result {
+            Access::Hit => self.hits += 1,
+            Access::Miss => self.misses += 1,
+        }
+        result
     }
 
     /// Accesses one line index (an address divided by the line size).
+    /// Leaves the hit/miss counters untouched so range accesses can batch
+    /// the counter updates per call instead of per line.
     #[inline]
     fn access_line(&mut self, line: u64) -> Access {
         let set = self.set_of(line);
@@ -143,26 +171,39 @@ impl SetAssocCache {
         let tick = self.tick;
         let base = set * self.ways;
         let mut victim = base;
-        let mut victim_stamp = u64::MAX;
+        let mut victim_key = u64::MAX;
         for i in base..base + self.ways {
-            if self.tags[i] == line {
+            let stamp = self.stamps[i];
+            // A matching tag only hits if its stamp is current-epoch;
+            // stale matches keep scanning.
+            if self.tags[i] == line && stamp >= self.epoch {
                 self.stamps[i] = tick;
-                self.hits += 1;
                 return Access::Hit;
             }
-            if self.stamps[i] < victim_stamp {
-                victim_stamp = self.stamps[i];
+            // Victim preference: the FIRST stale way (key 0), else the
+            // min-stamp live way. Filling stale ways in index order makes
+            // an epoch-cleared set refill exactly like a physically wiped
+            // one — hot lines land at early way indices, so the hit scan
+            // early-exits just as fast (stale ways are interchangeable, so
+            // hit/miss behaviour is unaffected by which one is filled).
+            let key = if stamp < self.epoch {
+                0
+            } else {
+                stamp - self.epoch + 1
+            };
+            if key < victim_key {
+                victim_key = key;
                 victim = i;
             }
         }
         self.tags[victim] = line;
         self.stamps[victim] = tick;
-        self.misses += 1;
         Access::Miss
     }
 
     /// Accesses every line overlapping `[addr, addr + bytes)`, returning the
-    /// number of lines that hit and missed.
+    /// number of lines that hit and missed. The hit/miss counters are
+    /// updated once per call, not once per line.
     pub fn access_range(&mut self, addr: u64, bytes: u64) -> (u64, u64) {
         if bytes == 0 {
             return (0, 0);
@@ -177,6 +218,8 @@ impl SetAssocCache {
                 Access::Miss => misses += 1,
             }
         }
+        self.hits += hits;
+        self.misses += misses;
         (hits, misses)
     }
 

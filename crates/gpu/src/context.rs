@@ -25,6 +25,7 @@ use std::sync::Mutex;
 use crate::cache::SetAssocCache;
 use crate::kernel::BlockAcc;
 use crate::spec::GpuSpec;
+use crate::trace::{HotBlock, ShardTrace};
 
 /// Smallest chunk worth simulating in its own shard: below this, shard
 /// caches fragment cross-block locality for no wall-clock win.
@@ -137,6 +138,12 @@ pub struct RunContext {
     pub(crate) merged_hotspots: HashMap<u64, u64>,
     /// Per-SM busy cycles for the greedy placement pass.
     pub(crate) sm_busy: Vec<u64>,
+    /// Arena for the per-shard trace rows assembled during the merge;
+    /// recycled across launches so tracing never allocates per launch.
+    pub(crate) shard_traces: Vec<ShardTrace>,
+    /// Arena for the top-K hottest-block records, recycled like
+    /// `shard_traces`.
+    pub(crate) hot_blocks: Vec<HotBlock>,
 }
 
 impl RunContext {
@@ -162,6 +169,8 @@ impl RunContext {
         self.merged_hotspots.clear();
         self.sm_busy.clear();
         self.sm_busy.resize(spec.num_sms as usize, 0);
+        self.shard_traces.clear();
+        self.hot_blocks.clear();
     }
 }
 

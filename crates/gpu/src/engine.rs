@@ -645,6 +645,8 @@ impl Engine {
             shards,
             merged_hotspots,
             sm_busy,
+            shard_traces,
+            hot_blocks,
         } = ctx;
         let mut totals = KernelMetrics {
             name: kernel.name().to_string(),
@@ -655,10 +657,10 @@ impl Engine {
         let mut serialized_atomics_total = 0u64;
         // Per-shard spans and launch-wide hotspot blocks, gathered only
         // when tracing: both derive from per-shard state that is already
-        // worker-count-invariant, so traced timelines are too.
+        // worker-count-invariant, so traced timelines are too. Their
+        // buffers live in the context (emptied by `prepare`) so repeated
+        // launches recycle the allocations.
         let tracing = traced && self.tracer.is_some();
-        let mut shard_traces: Vec<ShardTrace> = Vec::new();
-        let mut hot_blocks: Vec<HotBlock> = Vec::new();
         for (shard_idx, slot) in shards[..plan.num_shards].iter_mut().enumerate() {
             let slot = slot.get_mut().unwrap_or_else(|p| p.into_inner());
             if tracing {
@@ -779,7 +781,7 @@ impl Engine {
 
         if tracing {
             if let Some(tracer) = &self.tracer {
-                tracer.record_kernel(&totals, &self.spec, &shard_traces, &hot_blocks);
+                tracer.record_kernel(&totals, &self.spec, shard_traces, hot_blocks);
             }
         }
 
@@ -809,12 +811,13 @@ impl Engine {
             kernel.emit_block(block_id, &mut sink);
             sink.finish();
 
-            let busy_sum: u64 = acc.warps.iter().map(|w| w.busy).sum();
-            let useful_sum: u64 = acc.warps.iter().map(|w| w.useful).sum();
+            let busy_sum: u64 = acc.warp_busy.iter().sum();
+            let useful_sum: u64 = acc.warp_useful.iter().sum();
             let critical: u64 = acc
-                .warps
+                .warp_busy
                 .iter()
-                .map(|w| w.busy + w.stall / hiding)
+                .zip(&acc.warp_stall)
+                .map(|(&busy, &stall)| busy + stall / hiding)
                 .max()
                 .unwrap_or(0);
             let issue_bound = busy_sum / self.spec.warp_schedulers as u64;
@@ -824,7 +827,7 @@ impl Engine {
             // requests in flight across all the block's warps; below that
             // occupancy the block's aggregate stall time becomes the
             // bottleneck (the low-occupancy penalty of huge blocks).
-            let stall_sum: u64 = acc.warps.iter().map(|w| w.stall).sum();
+            let stall_sum: u64 = acc.warp_stall.iter().sum();
             let stall_bound = stall_sum / (hiding * 8);
             let cycles = critical.max(issue_bound).max(bw_bound).max(stall_bound)
                 + acc.syncs * self.spec.sync_cycles

@@ -92,10 +92,20 @@ pub(crate) struct WarpAcc {
 
 /// Per-block accumulators. Owned by the run context and recycled across
 /// blocks: [`BlockAcc::reset`] zeroes the counters while keeping the warp
-/// vector's capacity, so steady-state block simulation allocates nothing.
+/// arrays' capacity, so steady-state block simulation allocates nothing.
+///
+/// Warp accumulators are stored struct-of-arrays: the engine's reductions
+/// (busy/useful sums, critical-path max over `busy + stall / hiding`) each
+/// stream over one or two homogeneous `u64` slices instead of striding
+/// through interleaved records, and `flush_warp` appends to flat arrays.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct BlockAcc {
-    pub warps: Vec<WarpAcc>,
+    /// Per-warp issue-occupancy cycles, indexed by warp emission order.
+    pub warp_busy: Vec<u64>,
+    /// Per-warp useful lane-cycles, parallel to `warp_busy`.
+    pub warp_useful: Vec<u64>,
+    /// Per-warp memory stall cycles, parallel to `warp_busy`.
+    pub warp_stall: Vec<u64>,
     pub dram_read_bytes: u64,
     pub dram_write_bytes: u64,
     pub l2_hits: u64,
@@ -109,7 +119,9 @@ pub(crate) struct BlockAcc {
 impl BlockAcc {
     /// Clears the accumulators for the next block, keeping allocations.
     pub fn reset(&mut self) {
-        self.warps.clear();
+        self.warp_busy.clear();
+        self.warp_useful.clear();
+        self.warp_stall.clear();
         self.dram_read_bytes = 0;
         self.dram_write_bytes = 0;
         self.l2_hits = 0;
@@ -171,7 +183,9 @@ impl<'a> BlockSink<'a> {
 
     fn flush_warp(&mut self) {
         if let Some(w) = self.current.take() {
-            self.acc.warps.push(w);
+            self.acc.warp_busy.push(w.busy);
+            self.acc.warp_useful.push(w.useful);
+            self.acc.warp_stall.push(w.stall);
         }
     }
 
@@ -473,9 +487,9 @@ mod tests {
         sink.begin_warp();
         sink.compute_lanes(&[10, 2, 2, 2]);
         sink.finish();
-        assert_eq!(sink.acc.warps.len(), 1);
-        assert_eq!(sink.acc.warps[0].busy, 10, "lockstep pays the max lane");
-        assert_eq!(sink.acc.warps[0].useful, 16, "useful work is the lane sum");
+        assert_eq!(sink.acc.warp_busy.len(), 1);
+        assert_eq!(sink.acc.warp_busy[0], 10, "lockstep pays the max lane");
+        assert_eq!(sink.acc.warp_useful[0], 16, "useful work is the lane sum");
     }
 
     #[test]
@@ -487,9 +501,8 @@ mod tests {
         sink.finish();
         assert_eq!(sink.acc.l2_misses, 1);
         assert_eq!(sink.acc.dram_read_bytes, 128);
-        let w = sink.acc.warps[0];
-        assert_eq!(w.busy, spec.transaction_issue_cycles);
-        assert_eq!(w.stall, spec.dram_latency_cycles);
+        assert_eq!(sink.acc.warp_busy[0], spec.transaction_issue_cycles);
+        assert_eq!(sink.acc.warp_stall[0], spec.dram_latency_cycles);
     }
 
     #[test]
@@ -548,14 +561,12 @@ mod tests {
         sink.atomic_rmw(ArrayId(2), 0, 4, 1);
         sink.finish();
         assert_eq!(sink.acc.atomic_ops, 2);
-        let w0 = sink.acc.warps[0];
-        let w1 = sink.acc.warps[1];
         assert_eq!(
-            w0.stall, spec.atomic_latency_cycles,
+            sink.acc.warp_stall[0], spec.atomic_latency_cycles,
             "first atomic unserialised"
         );
         assert_eq!(
-            w1.stall,
+            sink.acc.warp_stall[1],
             spec.atomic_latency_cycles + spec.atomic_serialize_cycles,
             "second atomic on the same line pays serialization"
         );
@@ -600,9 +611,8 @@ mod tests {
         sink.begin_warp();
         sink.shared_access(128);
         sink.finish();
-        let w = sink.acc.warps[0];
         assert!(
-            w.stall < spec.dram_latency_cycles / 4,
+            sink.acc.warp_stall[0] < spec.dram_latency_cycles / 4,
             "shared must be far cheaper than DRAM"
         );
         assert_eq!(sink.acc.shared_bytes, 128);

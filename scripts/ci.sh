@@ -88,4 +88,45 @@ cmp "$trace_dir/c_a.txt" "$trace_dir/c_t1.txt" || {
   exit 1
 }
 
+echo "==> tune smoke: two-tier report stable across runs and worker counts"
+tune2() {
+  cargo run --offline -q --release --bin gnnadvisor -- \
+    tune --dataset Cora --scale 0.05 "${@:2}" > "$1"
+}
+tune2 "$trace_dir/u_a.txt"
+tune2 "$trace_dir/u_b.txt"
+GNNADVISOR_SIM_THREADS=1 tune2 "$trace_dir/u_t1.txt"
+GNNADVISOR_SIM_THREADS=4 tune2 "$trace_dir/u_t4.txt"
+grep -q "estimating (two-tier)" "$trace_dir/u_a.txt" || {
+  echo "FAIL: tune report missing the two-tier stage" >&2
+  exit 1
+}
+grep -q "calibration band" "$trace_dir/u_a.txt" || {
+  echo "FAIL: tune report missing the calibration band" >&2
+  exit 1
+}
+cmp "$trace_dir/u_a.txt" "$trace_dir/u_b.txt" || {
+  echo "FAIL: tune report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/u_t1.txt" "$trace_dir/u_t4.txt" || {
+  echo "FAIL: tune report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/u_a.txt" "$trace_dir/u_t1.txt" || {
+  echo "FAIL: tune report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+# The fast path must price candidates at least 20x faster than full
+# simulation (release build, so the ratio is not a debug-mode artifact);
+# the measured ratio prints to stderr and failure surfaces as an error.
+tune2 "$trace_dir/u_sc.txt" --speed-check 20 || {
+  echo "FAIL: fast-path scoring is not 20x faster than full simulation" >&2
+  exit 1
+}
+cmp "$trace_dir/u_a.txt" "$trace_dir/u_sc.txt" || {
+  echo "FAIL: --speed-check changed the tune report on stdout" >&2
+  exit 1
+}
+
 echo "CI green."

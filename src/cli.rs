@@ -16,6 +16,8 @@ use gnnadvisor_core::serving::{
 };
 use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_core::tuning::model;
+use gnnadvisor_core::tuning::params::RuntimeParams;
+use gnnadvisor_core::tuning::{aggregation_metrics, tune_two_tier, TwoTierConfig};
 use gnnadvisor_datasets::{table1_by_name, Dataset};
 use gnnadvisor_gpu::{Engine, FaultConfig, FaultPlan, GpuSpec, TraceRecorder};
 use gnnadvisor_graph::generators::{batched_graph, BatchedParams};
@@ -64,6 +66,14 @@ pub struct CliOptions {
     pub retries: usize,
     /// serve-sim: per-request completion deadline, ms (`None` = none).
     pub deadline_ms: Option<f64>,
+    /// tune: tier selection — analytic | two-tier | full.
+    pub tier: String,
+    /// tune: finalists verified on the engine in two-tier mode.
+    pub top_k: usize,
+    /// tune: require fast-path candidate scoring to be at least this many
+    /// times faster than full simulation (measured; reported on stderr so
+    /// stdout stays byte-deterministic).
+    pub speed_check: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -87,6 +97,9 @@ impl Default for CliOptions {
             fault_rate: 0.0,
             retries: 2,
             deadline_ms: None,
+            tier: "two-tier".into(),
+            top_k: 4,
+            speed_check: None,
         }
     }
 }
@@ -178,6 +191,19 @@ impl CliOptions {
                             .map_err(|_| "--deadline-ms needs a number".to_string())?,
                     )
                 }
+                "--tier" => opts.tier = need()?.to_lowercase(),
+                "--top-k" => {
+                    opts.top_k = need()?
+                        .parse()
+                        .map_err(|_| "--top-k needs an integer".to_string())?
+                }
+                "--speed-check" => {
+                    opts.speed_check = Some(
+                        need()?
+                            .parse()
+                            .map_err(|_| "--speed-check needs a number".to_string())?,
+                    )
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -225,6 +251,20 @@ impl CliOptions {
         if let Some(d) = opts.deadline_ms {
             if !(d.is_finite() && d > 0.0) {
                 return Err(format!("--deadline-ms must be positive, got {d}"));
+            }
+        }
+        if !matches!(opts.tier.as_str(), "analytic" | "two-tier" | "full") {
+            return Err(format!(
+                "--tier must be analytic, two-tier, or full, got {}",
+                opts.tier
+            ));
+        }
+        if opts.top_k == 0 {
+            return Err("--top-k must be at least 1".to_string());
+        }
+        if let Some(r) = opts.speed_check {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("--speed-check must be a positive ratio, got {r}"));
             }
         }
         Ok(opts)
@@ -481,7 +521,14 @@ pub fn compare(opts: &CliOptions) -> CliResult {
     Ok(out)
 }
 
-/// `tune`: the Section 7 Modeling & Estimating pipeline.
+/// `tune`: the Section 7 Modeling & Estimating pipeline, with tier
+/// selection. `two-tier` (the default) explores on the calibrated
+/// analytical fast path and engine-verifies only the finalists;
+/// `analytic` stops after the fast path; `full` scores every candidate on
+/// the event-level simulator. All stdout is derived from simulated or
+/// counted quantities, never wall-clock, so the report is byte-identical
+/// run-to-run — `--speed-check` prints its (wall-clock) measurement to
+/// stderr only.
 pub fn tune(opts: &CliOptions) -> CliResult {
     let ds = opts.load()?;
     let spec = opts.spec()?;
@@ -493,22 +540,157 @@ pub fn tune(opts: &CliOptions) -> CliResult {
         model_order(&opts.model)?,
     );
     let decided = model::decide(&info, &spec);
-    let evolved = Estimator::new(info.clone(), spec.clone(), EstimatorConfig::default()).tune();
-    Ok(format!(
-        "tuning for {} on {}:\n\
-         modeling (Eq. 2-4 grid): gs={}, tpb={}, dw={} (score {:.3e})\n\
-         estimating (evolutionary): gs={}, tpb={}, dw={} (score {:.3e})\n",
+    let dim = info.aggregation_dim();
+    let mut out = format!(
+        "tuning for {} on {} (tier: {}):\n\
+         modeling (Eq. 2-4 grid): gs={}, tpb={}, dw={} (score {:.3e})\n",
         ds.spec.name,
         spec.name,
+        opts.tier,
         decided.group_size,
         decided.threads_per_block,
         decided.dim_workers,
         model::estimated_latency(&decided, &info, &spec),
-        evolved.group_size,
-        evolved.threads_per_block,
-        evolved.dim_workers,
-        model::estimated_latency(&evolved, &info, &spec),
-    ))
+    );
+
+    if opts.tier == "full" {
+        if opts.speed_check.is_some() {
+            return Err("--speed-check needs --tier two-tier or analytic".to_string());
+        }
+        let est = Estimator::new(info.clone(), spec.clone(), EstimatorConfig::default());
+        let (best, stats) = est.tune_profiled_stats(|p, e| {
+            aggregation_metrics(&ds.graph, dim, p, e).map_or(f64::INFINITY, |m| m.time_ms)
+        });
+        let engine = Engine::new(spec.clone());
+        let best_ms = aggregation_metrics(&ds.graph, dim, &best, &engine)
+            .map_or(f64::INFINITY, |m| m.time_ms);
+        out.push_str(&format!(
+            "estimating (full-sim evolutionary): gs={}, tpb={}, dw={} (engine {:.4} ms)\n\
+             engine launches: {} distinct candidates (+{} memo hits)\n",
+            best.group_size,
+            best.threads_per_block,
+            best.dim_workers,
+            best_ms,
+            stats.unique_evals,
+            stats.memo_hits,
+        ));
+        return Ok(out);
+    }
+
+    // analytic and two-tier share the probe + calibrate + fast-search
+    // front end; analytic just verifies nothing beyond the fast winner.
+    let cfg = TwoTierConfig {
+        top_k: if opts.tier == "analytic" {
+            1
+        } else {
+            opts.top_k
+        },
+        ..Default::default()
+    };
+    let outcome = tune_two_tier(&info, &spec, &cfg, |p, e| {
+        aggregation_metrics(&ds.graph, dim, p, e)
+    });
+    let band_pct = outcome.model.error_band() * 100.0;
+    if opts.tier == "analytic" {
+        let fast = &outcome.fast_best;
+        out.push_str(&format!(
+            "estimating (analytic fast path): gs={}, tpb={}, dw={} (predicted {:.3} us)\n\
+             calibration band: {:.1}% | fast path: {} unique evals (+{} memo hits) | engine launches: {}\n",
+            fast.group_size,
+            fast.threads_per_block,
+            fast.dim_workers,
+            outcome.model.predict_us(fast),
+            band_pct,
+            outcome.fast_evals,
+            outcome.memo_hits,
+            outcome.engine_evals,
+        ));
+    } else {
+        out.push_str(&format!(
+            "estimating (two-tier): gs={}, tpb={}, dw={} (engine {:.4} ms)\n\
+             calibration band: {:.1}% | fast path: {} unique evals (+{} memo hits) | engine launches: {}\n\
+             finalists (fast-path rank order):\n",
+            outcome.best.group_size,
+            outcome.best.threads_per_block,
+            outcome.best.dim_workers,
+            outcome.best_engine_ms,
+            band_pct,
+            outcome.fast_evals,
+            outcome.memo_hits,
+            outcome.engine_evals,
+        ));
+        for f in &outcome.finalists {
+            out.push_str(&format!(
+                "  gs={:<3} tpb={:<4} dw={:<2} fast {:>9.3} us  engine {:>8.4} ms{}\n",
+                f.params.group_size,
+                f.params.threads_per_block,
+                f.params.dim_workers,
+                f.fast_us,
+                f.engine_ms,
+                if f.params == outcome.best {
+                    "  <- winner"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+
+    if let Some(required) = opts.speed_check {
+        speed_check(opts, &ds, dim, &spec, &outcome, required)?;
+    }
+    Ok(out)
+}
+
+/// Measures the fast-path vs full-sim per-candidate scoring cost and
+/// fails unless the fast path is at least `required` times faster. The
+/// measurement is wall-clock, so everything it prints goes to stderr —
+/// stdout stays deterministic.
+fn speed_check(
+    opts: &CliOptions,
+    ds: &Dataset,
+    dim: usize,
+    spec: &GpuSpec,
+    outcome: &gnnadvisor_core::tuning::TwoTierOutcome,
+    required: f64,
+) -> Result<(), String> {
+    let mut sample: Vec<RuntimeParams> = outcome.pool.iter().take(3).map(|&(p, _)| p).collect();
+    if sample.is_empty() {
+        sample.push(outcome.fast_best);
+    }
+    let engine = Engine::new(spec.clone());
+    const REPS: usize = 256;
+    let t0 = std::time::Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..REPS {
+        for p in &sample {
+            sink += outcome.model.predict_us(p);
+        }
+    }
+    std::hint::black_box(sink);
+    let fast_per = t0.elapsed().as_secs_f64() / (REPS * sample.len()) as f64;
+    let t1 = std::time::Instant::now();
+    for p in &sample {
+        std::hint::black_box(aggregation_metrics(&ds.graph, dim, p, &engine));
+    }
+    let full_per = t1.elapsed().as_secs_f64() / sample.len() as f64;
+    let ratio = full_per / fast_per.max(1e-12);
+    eprintln!(
+        "speed-check ({}): fast-path scoring {:.0}x faster than full simulation \
+         ({:.3} us vs {:.1} us per candidate; required {}x)",
+        opts.tier,
+        ratio,
+        fast_per * 1e6,
+        full_per * 1e6,
+        required,
+    );
+    if ratio < required {
+        return Err(format!(
+            "speed-check failed: fast path only {ratio:.1}x faster than full simulation \
+             (required {required}x)"
+        ));
+    }
+    Ok(())
 }
 
 /// `serve-sim`: the multi-stream serving runtime on a synthetic Type II
@@ -624,7 +806,7 @@ COMMANDS:
     run        one model forward pass under GNNAdvisor, with metrics
     profile    a traced forward pass: phase breakdown + span report
     compare    all execution strategies on one aggregation pass
-    tune       the Section 7 Modeling & Estimating pipeline
+    tune       the Section 7 Modeling & Estimating pipeline (two-tier)
     serve-sim  multi-stream serving runtime with dynamic batching
 
 OPTIONS:
@@ -636,6 +818,16 @@ OPTIONS:
     --feat-dim D         feature dim for --edge-list inputs (default 96)
     --classes C          class count for --edge-list inputs (default 10)
     --trace-out FILE     profile only: write chrome://tracing JSON here
+
+TUNE OPTIONS:
+    --tier T             analytic | two-tier | full (default two-tier):
+                         explore on the calibrated analytical model only,
+                         engine-verify the top-K finalists, or score every
+                         candidate on the event-level simulator
+    --top-k K            two-tier finalists verified on the engine (default 4)
+    --speed-check R      require fast-path candidate scoring to be at least
+                         R times faster than full simulation; the measured
+                         ratio prints to stderr (stdout stays deterministic)
 
 SERVE-SIM OPTIONS:
     --requests N         arrival-trace length (default 64)
@@ -774,6 +966,74 @@ mod tests {
         let out = dispatch(&args("tune --dataset Pubmed --scale 0.03")).expect("runs");
         assert!(out.contains("modeling"));
         assert!(out.contains("estimating"));
+        // The default tier is two-tier: the report carries the calibration
+        // band, the evaluation counters, and the verified finalists.
+        assert!(out.contains("two-tier"), "{out}");
+        assert!(out.contains("calibration band"), "{out}");
+        assert!(out.contains("finalists"), "{out}");
+        assert!(out.contains("<- winner"), "{out}");
+    }
+
+    #[test]
+    fn tune_every_tier_reports_its_stage() {
+        for (tier, needle) in [
+            ("analytic", "analytic fast path"),
+            ("two-tier", "estimating (two-tier)"),
+            ("full", "full-sim evolutionary"),
+        ] {
+            let out = dispatch(&args(&format!(
+                "tune --dataset Cora --scale 0.05 --tier {tier}"
+            )))
+            .unwrap_or_else(|e| panic!("{tier}: {e}"));
+            assert!(out.contains(needle), "{tier}: missing {needle} in:\n{out}");
+            assert!(out.contains("modeling"), "{tier}");
+        }
+    }
+
+    #[test]
+    fn tune_report_is_deterministic() {
+        let cmd = "tune --dataset Cora --scale 0.05";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "tune stdout must be byte-identical run-to-run");
+    }
+
+    #[test]
+    fn tune_speed_check_passes_generously_and_rejects_impossible_ratios() {
+        // 1x is trivially met: one engine launch costs orders of magnitude
+        // more than one closed-form evaluation.
+        let out =
+            dispatch(&args("tune --dataset Cora --scale 0.05 --speed-check 1")).expect("runs");
+        assert!(out.contains("estimating"), "{out}");
+        // ... and the stdout report must not change when the check runs.
+        let plain = dispatch(&args("tune --dataset Cora --scale 0.05")).expect("runs");
+        assert_eq!(out, plain, "--speed-check must leave stdout untouched");
+        // An absurd ratio fails via Err, not via stdout.
+        let err = dispatch(&args("tune --dataset Cora --scale 0.05 --speed-check 1e18"))
+            .expect_err("impossible ratio");
+        assert!(err.contains("speed-check failed"), "{err}");
+        // The full tier has no fast path to check.
+        let err = dispatch(&args(
+            "tune --dataset Cora --scale 0.05 --tier full --speed-check 2",
+        ))
+        .expect_err("full tier");
+        assert!(err.contains("--speed-check"), "{err}");
+    }
+
+    #[test]
+    fn tune_options_validated_at_parse() {
+        assert!(CliOptions::parse(&args("--tier warp"))
+            .expect_err("bad tier")
+            .contains("--tier"));
+        assert!(CliOptions::parse(&args("--top-k 0"))
+            .expect_err("zero finalists")
+            .contains("--top-k"));
+        for bad in ["0", "-3", "nan"] {
+            assert!(CliOptions::parse(&args(&format!("--speed-check {bad}")))
+                .expect_err(bad)
+                .contains("--speed-check"));
+        }
+        assert!(CliOptions::parse(&args("--tier analytic --top-k 2 --speed-check 20")).is_ok());
     }
 
     #[test]
