@@ -25,7 +25,13 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use gnnadvisor_core::cluster::{
+    assign_tenants, simulate_cluster, ClusterConfig, ClusterReport, RouterPolicy, TenantSpec,
+};
 use gnnadvisor_core::input::{extract, AggOrder};
+use gnnadvisor_core::serving::{
+    generate_arrivals, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy,
+};
 use gnnadvisor_core::tuning::{
     aggregation_metrics, tune_two_tier, Estimator, EstimatorConfig, TwoTierConfig,
 };
@@ -34,7 +40,8 @@ use gnnadvisor_gpu::{
     ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, RunContext, Workload,
     WorkloadMetrics,
 };
-use gnnadvisor_graph::generators::barabasi_albert;
+use gnnadvisor_graph::generators::{barabasi_albert, batched_graph, BatchedParams};
+use gnnadvisor_models::GcnBatchExecutor;
 use serde::{Deserialize, Serialize};
 
 /// Fixed workload: 512 blocks of 8 warps each, mixing a sliding coalesced
@@ -241,6 +248,156 @@ struct TuningBench {
     memo_hits: usize,
 }
 
+/// One replica-count row of the cluster serving scenario (simulated
+/// goodput, not wall clock — replication must buy schedule span).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterReplicaRow {
+    /// Replicas behind the router.
+    replicas: usize,
+    /// In-deadline completions per simulated second.
+    goodput_rps: f64,
+    /// Schedule makespan, simulated ms.
+    makespan_ms: f64,
+    /// This row's goodput over the single-replica goodput.
+    goodput_speedup_vs_single: f64,
+}
+
+/// Per-tenant SLO outcome at the two-replica operating point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterTenantRow {
+    /// Tenant name.
+    tenant: String,
+    /// Requests the trace assigned to the tenant.
+    arrivals: usize,
+    /// Requests completed within the tenant's deadline.
+    completed: usize,
+    /// completed / arrivals.
+    slo_attainment: f64,
+}
+
+/// Cluster serving scenario: the same device-limited trace pushed through
+/// 1, 2, and 4 cost-aware-routed replicas.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterBench {
+    /// Requests in the shared trace.
+    requests: usize,
+    /// Router policy used on every row.
+    router: String,
+    /// Replica-count sweep, ascending.
+    rows: Vec<ClusterReplicaRow>,
+    /// Best multi-replica goodput over single-replica goodput (the
+    /// acceptance-criterion number; must clear 1.5x).
+    goodput_speedup: f64,
+    /// Per-tenant SLO attainment at two replicas.
+    tenants_at_two_replicas: Vec<ClusterTenantRow>,
+    /// Whether the two-replica report renders byte-identically at 1 and 4
+    /// simulation worker threads.
+    deterministic: bool,
+}
+
+/// Runs the cluster serving pipeline at one replica count.
+fn cluster_report(spec: &GpuSpec, replicas: usize, sim_threads: usize) -> ClusterReport {
+    // A Type II batched workload like the serving scenario, but with
+    // wider features and fatter component graphs: the offered rate sits
+    // far above one device's capacity, so the schedule is device-limited
+    // and replication moves the span (a light workload pins goodput to
+    // the arrival window and every replica count ties).
+    let nodes = 8_000;
+    let (graph, components) = batched_graph(
+        &BatchedParams {
+            num_nodes: nodes,
+            num_edges: nodes * 4,
+            mean_graph_size: 400,
+            graph_size_cv: 0.4,
+        },
+        31,
+    )
+    .expect("valid batched dataset");
+    let mut exec = GcnBatchExecutor::new(&graph, &components, 512, 64, 10);
+    let arrivals = generate_arrivals(&ArrivalConfig {
+        num_requests: 96,
+        mean_interarrival_ms: 0.005,
+        num_components: exec.num_components(),
+        seed: 7,
+    })
+    .expect("valid arrival config");
+    let tenants = vec![
+        TenantSpec {
+            name: "batch".into(),
+            weight: 3,
+            deadline_ms: None,
+        },
+        TenantSpec {
+            name: "online".into(),
+            weight: 1,
+            deadline_ms: Some(10.0),
+        },
+    ];
+    let tenant_of = assign_tenants(&arrivals, &tenants, 11).expect("valid roster");
+    let cfg = ClusterConfig {
+        replicas,
+        streams: 2,
+        queue: QueuePolicy { capacity: 96 },
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ms: 1.0,
+        },
+        retry: RetryPolicy::default(),
+        router: RouterPolicy::CostAware,
+        autoscaler: None,
+    };
+    let engines: Vec<Engine> = (0..replicas)
+        .map(|_| {
+            Engine::builder(spec.clone())
+                .sim_threads(sim_threads)
+                .build()
+                .expect("valid engine configuration")
+        })
+        .collect();
+    simulate_cluster(&engines, &arrivals, &tenant_of, &tenants, &cfg, &mut exec)
+        .expect("cluster simulation runs")
+}
+
+/// The replica sweep plus the two-replica determinism cross-check.
+fn bench_cluster(spec: &GpuSpec) -> ClusterBench {
+    let counts = [1usize, 2, 4];
+    let reports: Vec<ClusterReport> = counts.iter().map(|&r| cluster_report(spec, r, 1)).collect();
+    let single = reports[0].goodput_rps.max(1e-12);
+    let rows: Vec<ClusterReplicaRow> = counts
+        .iter()
+        .zip(&reports)
+        .map(|(&replicas, r)| ClusterReplicaRow {
+            replicas,
+            goodput_rps: r.goodput_rps,
+            makespan_ms: r.makespan_ms,
+            goodput_speedup_vs_single: r.goodput_rps / single,
+        })
+        .collect();
+    let goodput_speedup = rows[1..]
+        .iter()
+        .map(|r| r.goodput_speedup_vs_single)
+        .fold(0.0, f64::max);
+    let tenants_at_two_replicas = reports[1]
+        .tenants
+        .iter()
+        .map(|t| ClusterTenantRow {
+            tenant: t.name.clone(),
+            arrivals: t.arrivals,
+            completed: t.completed,
+            slo_attainment: t.slo_attainment,
+        })
+        .collect();
+    let deterministic = cluster_report(spec, 2, 1).render() == cluster_report(spec, 2, 4).render();
+    ClusterBench {
+        requests: 96,
+        router: RouterPolicy::CostAware.label().into(),
+        rows,
+        goodput_speedup,
+        tenants_at_two_replicas,
+        deterministic,
+    }
+}
+
 /// Everything `BENCH_sim.json` records.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchSim {
@@ -273,6 +430,9 @@ struct BenchSim {
     hot_loop: HotLoopBench,
     /// Two-tier vs full-simulation tuning.
     tuning: TuningBench,
+    /// Cluster serving: goodput scaling across replica counts and
+    /// per-tenant SLO attainment (simulated time, host-independent).
+    cluster: ClusterBench,
     /// How to read the numbers on this host.
     note: String,
 }
@@ -521,6 +681,7 @@ fn main() {
 
     let hot_loop = bench_hot_loop(&check_engines[0]);
     let tuning = bench_tuning(&spec);
+    let cluster = bench_cluster(&spec);
 
     let skip_note = if skipped_worker_counts.is_empty() {
         String::new()
@@ -549,6 +710,7 @@ fn main() {
         deterministic,
         hot_loop,
         tuning,
+        cluster,
         note: format!(
             "speedup_vs_baseline is the algorithmic before/after (seed hot \
              path vs current engine, single thread); speedup_vs_serial is \
@@ -567,6 +729,15 @@ fn main() {
         result.tuning.winner_within_band,
         "two-tier winner must sit within the calibration band of the \
          full-sim winner"
+    );
+    assert!(
+        result.cluster.goodput_speedup >= 1.5,
+        "replication must buy at least 1.5x goodput at 2+ replicas, got {:.2}x",
+        result.cluster.goodput_speedup
+    );
+    assert!(
+        result.cluster.deterministic,
+        "the cluster report must render byte-identically across worker counts"
     );
 
     let json = serde_json::to_string_pretty(&result).expect("serializes");
@@ -590,5 +761,16 @@ fn main() {
         result.tuning.full_sim_unmemoized_wall_ms,
         result.tuning.tuner_speedup,
         result.tuning.calibration_error_band * 100.0,
+    );
+    println!(
+        "cluster: best goodput speedup {:.2}x over one replica; online tenant \
+         SLO attainment at 2 replicas: {:.3}",
+        result.cluster.goodput_speedup,
+        result
+            .cluster
+            .tenants_at_two_replicas
+            .iter()
+            .find(|t| t.tenant == "online")
+            .map_or(1.0, |t| t.slo_attainment),
     );
 }

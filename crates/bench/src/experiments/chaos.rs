@@ -85,6 +85,7 @@ fn report_for(retries: usize, cfg: &ExperimentConfig) -> ServingReport {
             max_attempts: retries + 1,
             backoff_base_ms: 0.25,
             seed: cfg.seed,
+            ..RetryPolicy::default()
         },
         deadline_ms: None,
     };

@@ -27,6 +27,7 @@
 //! values; property tests assert the grouped execution order computes
 //! exactly what the sequential reference does.
 
+pub mod cluster;
 pub mod compute;
 pub mod frameworks;
 pub mod input;

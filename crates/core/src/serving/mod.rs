@@ -39,7 +39,9 @@ pub mod batcher;
 pub mod queue;
 pub mod retry;
 
-pub use arrivals::{generate_arrivals, ArrivalConfig, Request};
+pub use arrivals::{
+    generate_arrivals, generate_mmpp_arrivals, replay_trace, ArrivalConfig, MmppConfig, Request,
+};
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy, DispatchedBatch, QueuePolicy};
 pub use queue::BoundedQueue;
 pub use retry::RetryPolicy;
@@ -206,8 +208,11 @@ impl ServingReport {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// rank `ceil(p/100 · n)` (1-based), so p50 of `[1, 9]` is `1` (rank 1)
+/// and every percentile of a singleton is that sample. Shared with the
+/// cluster layer's per-tenant statistics.
+pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
@@ -612,6 +617,7 @@ mod tests {
             max_attempts: 4,
             backoff_base_ms: 0.25,
             seed: 13,
+            ..RetryPolicy::default()
         };
         let with_retry =
             simulate(&chaotic_engine(0.3, 13, 1), &trace(), &cfg, &mut exec()).expect("runs");
@@ -657,12 +663,67 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_percentiles_are_pinned_for_tiny_samples() {
+        // Nearest-rank on 1-3 completed batches is where an off-by-one
+        // hides: rank = ceil(p/100 · n), 1-based. Pin the hand-computed
+        // values so any indexing drift fails loudly.
+        let one = [5.0];
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(percentile(&one, p), 5.0, "n=1, p{p}");
+        }
+        let two = [1.0, 9.0];
+        assert_eq!(percentile(&two, 50.0), 1.0, "p50 of [1,9] is rank 1");
+        assert_eq!(percentile(&two, 95.0), 9.0);
+        assert_eq!(percentile(&two, 99.0), 9.0);
+        let three = [1.0, 5.0, 9.0];
+        assert_eq!(percentile(&three, 50.0), 5.0, "p50 of [1,5,9] is rank 2");
+        assert_eq!(percentile(&three, 95.0), 9.0);
+        assert_eq!(percentile(&three, 99.0), 9.0);
+        // Degenerate edges: an empty sample reports 0, p0 clamps to the
+        // first sample, p100 to the last.
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&three, 0.0), 1.0);
+        assert_eq!(percentile(&three, 100.0), 9.0);
+    }
+
+    #[test]
+    fn exhausted_batches_fail_exactly_once_even_past_the_deadline() {
+        // A batch that exhausts max_attempts *and* would also have missed
+        // its deadline must count as failed XOR deadline_missed, never
+        // both. Fault rate 1.0 exhausts every batch; the tiny positive
+        // deadline would reclassify any completion — so any double
+        // counting breaks conservation here.
+        let mut cfg = config(2);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0.25,
+            seed: 3,
+            ..RetryPolicy::default()
+        };
+        cfg.deadline_ms = Some(1e-6);
+        let report =
+            simulate(&chaotic_engine(1.0, 3, 1), &trace(), &cfg, &mut exec()).expect("runs");
+        assert!(report.retries > 0, "every batch retries before exhausting");
+        assert_eq!(report.completed, 0);
+        assert_eq!(
+            report.deadline_missed, 0,
+            "exhausted batches must not double-count as deadline misses"
+        );
+        assert_eq!(
+            report.failed as u64 + report.shed,
+            64,
+            "every admitted request fails exactly once"
+        );
+    }
+
+    #[test]
     fn faulted_reports_are_identical_across_runs_and_worker_counts() {
         let mut cfg = config(3);
         cfg.retry = RetryPolicy {
             max_attempts: 3,
             backoff_base_ms: 0.5,
             seed: 21,
+            ..RetryPolicy::default()
         };
         cfg.deadline_ms = Some(50.0);
         let render_at = |sim_threads: usize| {
@@ -713,6 +774,7 @@ mod tests {
                     max_attempts,
                     backoff_base_ms: 0.25,
                     seed,
+                    ..RetryPolicy::default()
                 };
                 cfg.deadline_ms = deadline;
                 let run = |sim_threads: usize| {
@@ -734,6 +796,26 @@ mod tests {
                     &report
                 );
                 prop_assert_eq!(run(4).render(), report.render());
+                // Disjointness of failed vs deadline_missed: failures come
+                // only from retry exhaustion, so removing the deadline must
+                // leave the failed count untouched (the deadline
+                // reclassifies completions, never failures) and every
+                // former deadline miss must complete instead.
+                let mut no_deadline = cfg.clone();
+                no_deadline.deadline_ms = None;
+                let open = simulate(
+                    &chaotic_engine(rate, seed, 1),
+                    &arrivals,
+                    &no_deadline,
+                    &mut exec(),
+                ).expect("runs");
+                prop_assert_eq!(open.failed, report.failed, "deadline leaks into failed");
+                prop_assert_eq!(open.deadline_missed, 0);
+                prop_assert_eq!(
+                    open.completed,
+                    report.completed + report.deadline_missed,
+                    "every deadline miss must be a completion without the deadline"
+                );
             }
         }
     }

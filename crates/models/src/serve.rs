@@ -263,6 +263,7 @@ mod tests {
                 max_attempts: 3,
                 backoff_base_ms: 0.25,
                 seed: 9,
+                ..RetryPolicy::default()
             },
             deadline_ms: None,
         };

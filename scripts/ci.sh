@@ -88,6 +88,37 @@ cmp "$trace_dir/c_a.txt" "$trace_dir/c_t1.txt" || {
   exit 1
 }
 
+echo "==> serve-cluster smoke: report stable across runs and worker counts"
+cluster() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    serve-cluster --requests 32 --rate 4000 --streams 2 --scale 0.02 \
+    --replicas 2 --tenants batch:3,online:1:40 --fault-rate 0.2 --retries 2 > "$1"
+}
+cluster "$trace_dir/k_a.txt"
+cluster "$trace_dir/k_b.txt"
+GNNADVISOR_SIM_THREADS=1 cluster "$trace_dir/k_t1.txt"
+GNNADVISOR_SIM_THREADS=4 cluster "$trace_dir/k_t4.txt"
+grep -q "tenant online" "$trace_dir/k_a.txt" || {
+  echo "FAIL: serve-cluster report missing tenant rows" >&2
+  exit 1
+}
+grep -q "replica submissions" "$trace_dir/k_a.txt" || {
+  echo "FAIL: serve-cluster report missing replica loads" >&2
+  exit 1
+}
+cmp "$trace_dir/k_a.txt" "$trace_dir/k_b.txt" || {
+  echo "FAIL: serve-cluster report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/k_t1.txt" "$trace_dir/k_t4.txt" || {
+  echo "FAIL: serve-cluster report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/k_a.txt" "$trace_dir/k_t1.txt" || {
+  echo "FAIL: serve-cluster report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+
 echo "==> tune smoke: two-tier report stable across runs and worker counts"
 tune2() {
   cargo run --offline -q --release --bin gnnadvisor -- \

@@ -7,12 +7,16 @@
 
 use std::sync::Arc;
 
+use gnnadvisor_core::cluster::{
+    assign_tenants, simulate_cluster, validate_tenants, AutoscalerConfig, ClusterConfig,
+    RouterPolicy, TenantSpec,
+};
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
 use gnnadvisor_core::serving::{
-    generate_arrivals, simulate, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy,
-    ServingConfig,
+    generate_arrivals, generate_mmpp_arrivals, simulate, ArrivalConfig, BatchPolicy, MmppConfig,
+    QueuePolicy, RetryPolicy, ServingConfig,
 };
 use gnnadvisor_core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_core::tuning::model;
@@ -66,6 +70,32 @@ pub struct CliOptions {
     pub retries: usize,
     /// serve-sim: per-request completion deadline, ms (`None` = none).
     pub deadline_ms: Option<f64>,
+    /// serve-cluster: replica engines behind the router.
+    pub replicas: usize,
+    /// serve-cluster: router policy — round-robin | least-loaded | cost-aware.
+    pub router: String,
+    /// serve-cluster: tenant roster `NAME:WEIGHT[:DEADLINE_MS],...`
+    /// (`None` = one default tenant carrying `deadline_ms`).
+    pub tenants: Option<String>,
+    /// serve-cluster: autoscaler bounds `MIN:MAX` (`None` = fixed fleet).
+    pub autoscale: Option<String>,
+    /// serve-cluster: autoscaler queue-depth scale-up watermark.
+    pub scale_high: usize,
+    /// serve-cluster: autoscaler queue-depth scale-down watermark.
+    pub scale_low: usize,
+    /// serve-cluster: autoscaler control cadence, ms.
+    pub scale_interval_ms: f64,
+    /// serve-cluster: optional autoscaler p99 latency watermark, ms.
+    pub scale_p99_ms: Option<f64>,
+    /// serve-cluster: arrival process — poisson | mmpp.
+    pub arrivals: String,
+    /// serve-cluster: MMPP burst factor (heavy phase runs this many times
+    /// faster than the mean, calm phase as many times slower).
+    pub burst: f64,
+    /// serve-cluster: MMPP mean phase dwell, ms.
+    pub dwell_ms: f64,
+    /// serve-cluster: kill one replica mid-run, `REPLICA:MS`.
+    pub reset_replica: Option<String>,
     /// tune: tier selection — analytic | two-tier | full.
     pub tier: String,
     /// tune: finalists verified on the engine in two-tier mode.
@@ -97,6 +127,18 @@ impl Default for CliOptions {
             fault_rate: 0.0,
             retries: 2,
             deadline_ms: None,
+            replicas: 2,
+            router: "cost-aware".into(),
+            tenants: None,
+            autoscale: None,
+            scale_high: 8,
+            scale_low: 1,
+            scale_interval_ms: 5.0,
+            scale_p99_ms: None,
+            arrivals: "poisson".into(),
+            burst: 4.0,
+            dwell_ms: 5.0,
+            reset_replica: None,
             tier: "two-tier".into(),
             top_k: 4,
             speed_check: None,
@@ -191,6 +233,48 @@ impl CliOptions {
                             .map_err(|_| "--deadline-ms needs a number".to_string())?,
                     )
                 }
+                "--replicas" => {
+                    opts.replicas = need()?
+                        .parse()
+                        .map_err(|_| "--replicas needs an integer".to_string())?
+                }
+                "--router" => opts.router = need()?.to_lowercase(),
+                "--tenants" => opts.tenants = Some(need()?),
+                "--autoscale" => opts.autoscale = Some(need()?),
+                "--scale-high" => {
+                    opts.scale_high = need()?
+                        .parse()
+                        .map_err(|_| "--scale-high needs an integer".to_string())?
+                }
+                "--scale-low" => {
+                    opts.scale_low = need()?
+                        .parse()
+                        .map_err(|_| "--scale-low needs an integer".to_string())?
+                }
+                "--scale-interval-ms" => {
+                    opts.scale_interval_ms = need()?
+                        .parse()
+                        .map_err(|_| "--scale-interval-ms needs a number".to_string())?
+                }
+                "--scale-p99-ms" => {
+                    opts.scale_p99_ms = Some(
+                        need()?
+                            .parse()
+                            .map_err(|_| "--scale-p99-ms needs a number".to_string())?,
+                    )
+                }
+                "--arrivals" => opts.arrivals = need()?.to_lowercase(),
+                "--burst" => {
+                    opts.burst = need()?
+                        .parse()
+                        .map_err(|_| "--burst needs a number above 1".to_string())?
+                }
+                "--dwell-ms" => {
+                    opts.dwell_ms = need()?
+                        .parse()
+                        .map_err(|_| "--dwell-ms needs a number".to_string())?
+                }
+                "--reset-replica" => opts.reset_replica = Some(need()?),
                 "--tier" => opts.tier = need()?.to_lowercase(),
                 "--top-k" => {
                     opts.top_k = need()?
@@ -252,6 +336,59 @@ impl CliOptions {
             if !(d.is_finite() && d > 0.0) {
                 return Err(format!("--deadline-ms must be positive, got {d}"));
             }
+        }
+        if opts.replicas == 0 {
+            return Err("--replicas must be at least 1".to_string());
+        }
+        if RouterPolicy::parse(&opts.router).is_none() {
+            return Err(format!(
+                "--router must be round-robin, least-loaded, or cost-aware, got {}",
+                opts.router
+            ));
+        }
+        if let Some(t) = &opts.tenants {
+            parse_tenant_specs(t)?;
+        }
+        if let Some(a) = &opts.autoscale {
+            parse_autoscale(a)?;
+        }
+        if opts.scale_low >= opts.scale_high {
+            return Err(format!(
+                "--scale-low {} must sit below --scale-high {}",
+                opts.scale_low, opts.scale_high
+            ));
+        }
+        if !(opts.scale_interval_ms.is_finite() && opts.scale_interval_ms > 0.0) {
+            return Err(format!(
+                "--scale-interval-ms must be positive, got {}",
+                opts.scale_interval_ms
+            ));
+        }
+        if let Some(p) = opts.scale_p99_ms {
+            if !(p.is_finite() && p > 0.0) {
+                return Err(format!("--scale-p99-ms must be positive, got {p}"));
+            }
+        }
+        if !matches!(opts.arrivals.as_str(), "poisson" | "mmpp") {
+            return Err(format!(
+                "--arrivals must be poisson or mmpp, got {}",
+                opts.arrivals
+            ));
+        }
+        if !(opts.burst.is_finite() && opts.burst > 1.0) {
+            return Err(format!(
+                "--burst must be a finite factor above 1, got {}",
+                opts.burst
+            ));
+        }
+        if !(opts.dwell_ms.is_finite() && opts.dwell_ms > 0.0) {
+            return Err(format!(
+                "--dwell-ms must be positive, got {}",
+                opts.dwell_ms
+            ));
+        }
+        if let Some(r) = &opts.reset_replica {
+            parse_reset(r)?;
         }
         if !matches!(opts.tier.as_str(), "analytic" | "two-tier" | "full") {
             return Err(format!(
@@ -770,6 +907,224 @@ pub fn serve_sim(opts: &CliOptions) -> CliResult {
     ))
 }
 
+/// Parses a `--tenants` roster: `NAME:WEIGHT[:DEADLINE_MS],...`.
+fn parse_tenant_specs(s: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut tenants = Vec::new();
+    for part in s.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        if !(2..=3).contains(&fields.len()) {
+            return Err(format!(
+                "--tenants entry {part:?} must be NAME:WEIGHT[:DEADLINE_MS]"
+            ));
+        }
+        let weight: u32 = fields[1].parse().map_err(|_| {
+            format!("--tenants entry {part:?}: the weight must be a positive integer")
+        })?;
+        let deadline_ms = match fields.get(2) {
+            Some(d) => Some(d.parse::<f64>().map_err(|_| {
+                format!("--tenants entry {part:?}: the deadline must be a number (ms)")
+            })?),
+            None => None,
+        };
+        tenants.push(TenantSpec {
+            name: fields[0].to_string(),
+            weight,
+            deadline_ms,
+        });
+    }
+    validate_tenants(&tenants).map_err(|e| format!("--tenants: {e}"))?;
+    Ok(tenants)
+}
+
+/// Parses `--autoscale MIN:MAX`.
+fn parse_autoscale(s: &str) -> Result<(usize, usize), String> {
+    let (min, max) = s
+        .split_once(':')
+        .ok_or_else(|| "--autoscale must be MIN:MAX".to_string())?;
+    let min: usize = min
+        .parse()
+        .map_err(|_| "--autoscale MIN must be an integer".to_string())?;
+    let max: usize = max
+        .parse()
+        .map_err(|_| "--autoscale MAX must be an integer".to_string())?;
+    if min == 0 || max < min {
+        return Err(format!(
+            "--autoscale needs 1 <= MIN <= MAX, got {min}:{max}"
+        ));
+    }
+    Ok((min, max))
+}
+
+/// Parses `--reset-replica REPLICA:MS`.
+fn parse_reset(s: &str) -> Result<(usize, f64), String> {
+    let (replica, ms) = s
+        .split_once(':')
+        .ok_or_else(|| "--reset-replica must be REPLICA:MS".to_string())?;
+    let replica: usize = replica
+        .parse()
+        .map_err(|_| "--reset-replica REPLICA must be an integer".to_string())?;
+    let ms: f64 = ms
+        .parse()
+        .map_err(|_| "--reset-replica MS must be a number".to_string())?;
+    if !(ms.is_finite() && ms > 0.0) {
+        return Err(format!(
+            "--reset-replica instant must be positive, got {ms}"
+        ));
+    }
+    Ok((replica, ms))
+}
+
+/// `serve-cluster`: the serving pipeline scaled out across replicated
+/// engines — weighted-fair tenant admission, a deterministic router
+/// (round-robin / least-loaded / cost-aware), optional seeded
+/// autoscaling, and retry-elsewhere failover. Arrivals come from either
+/// the Poisson generator or the bursty MMPP generator; everything
+/// downstream of the seed replays bit-for-bit, so the report is
+/// byte-identical across runs and `GNNADVISOR_SIM_THREADS`.
+pub fn serve_cluster(opts: &CliOptions) -> CliResult {
+    // Same batched Type II dataset as serve-sim: the cluster serves the
+    // mini-batched inference workload class.
+    let nodes = ((40_000.0 * opts.scale) as usize).clamp(400, 40_000);
+    let (graph, components) = batched_graph(
+        &BatchedParams {
+            num_nodes: nodes,
+            num_edges: nodes * 4,
+            mean_graph_size: 40,
+            graph_size_cv: 0.4,
+        },
+        31,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut exec = GcnBatchExecutor::new(&graph, &components, opts.feat_dim, 16, opts.num_classes);
+
+    let mean = 1000.0 / opts.rate;
+    let arrivals = match opts.arrivals.as_str() {
+        "mmpp" => generate_mmpp_arrivals(&MmppConfig {
+            num_requests: opts.requests,
+            phase_interarrival_ms: vec![mean / opts.burst, mean * opts.burst],
+            mean_dwell_ms: opts.dwell_ms,
+            num_components: exec.num_components(),
+            seed: opts.seed,
+        }),
+        _ => generate_arrivals(&ArrivalConfig {
+            num_requests: opts.requests,
+            mean_interarrival_ms: mean,
+            num_components: exec.num_components(),
+            seed: opts.seed,
+        }),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let tenants = match &opts.tenants {
+        Some(s) => parse_tenant_specs(s)?,
+        None => vec![TenantSpec {
+            name: "default".into(),
+            weight: 1,
+            deadline_ms: opts.deadline_ms,
+        }],
+    };
+    let tenant_of = assign_tenants(&arrivals, &tenants, opts.seed).map_err(|e| e.to_string())?;
+
+    let autoscaler = opts
+        .autoscale
+        .as_deref()
+        .map(parse_autoscale)
+        .transpose()?
+        .map(|(min, max)| AutoscalerConfig {
+            min_replicas: min,
+            max_replicas: max,
+            interval_ms: opts.scale_interval_ms,
+            high_queue_depth: opts.scale_high,
+            low_queue_depth: opts.scale_low,
+            p99_high_ms: opts.scale_p99_ms,
+            consecutive: 2,
+            seed: opts.seed,
+        });
+    let slots = autoscaler
+        .as_ref()
+        .map_or(opts.replicas, |a| a.max_replicas.max(opts.replicas));
+    let reset = opts.reset_replica.as_deref().map(parse_reset).transpose()?;
+    if let Some((r, _)) = reset {
+        if r >= slots {
+            return Err(format!(
+                "--reset-replica names replica {r} but the fleet has {slots} slots"
+            ));
+        }
+    }
+
+    let mut engines = Vec::with_capacity(slots);
+    for r in 0..slots {
+        let mut builder = Engine::builder(opts.spec()?);
+        let reset_ms = reset.and_then(|(rr, ms)| (rr == r).then_some(ms));
+        if opts.fault_rate > 0.0 || reset_ms.is_some() {
+            // Per-replica fault seeds: replicas fault independently, but
+            // the whole fleet's chaos replays from one --seed.
+            let mut fc = FaultConfig::uniform(opts.fault_rate, opts.seed.wrapping_add(r as u64));
+            fc.device_reset_ms = reset_ms;
+            let plan = FaultPlan::new(fc).map_err(|e| e.to_string())?;
+            builder = builder.fault_plan(Arc::new(plan));
+        }
+        engines.push(builder.build().map_err(|e| e.to_string())?);
+    }
+
+    let cfg = ClusterConfig {
+        replicas: opts.replicas,
+        streams: opts.streams,
+        queue: QueuePolicy {
+            capacity: opts.queue_cap,
+        },
+        batch: BatchPolicy {
+            max_batch: opts.batch_size,
+            max_delay_ms: opts.max_delay_ms,
+        },
+        retry: RetryPolicy {
+            max_attempts: opts.retries + 1,
+            seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        router: RouterPolicy::parse(&opts.router).expect("validated at parse"),
+        autoscaler,
+    };
+    let report = simulate_cluster(&engines, &arrivals, &tenant_of, &tenants, &cfg, &mut exec)
+        .map_err(|e| e.to_string())?;
+
+    let roster: Vec<String> = tenants
+        .iter()
+        .map(|t| {
+            let slo = t
+                .deadline_ms
+                .map_or(String::new(), |d| format!(" slo {d}ms"));
+            format!("{} w{}{}", t.name, t.weight, slo)
+        })
+        .collect();
+    let autoscale_str = cfg.autoscaler.as_ref().map_or("off".to_string(), |a| {
+        format!("{}..{} replicas", a.min_replicas, a.max_replicas)
+    });
+    Ok(format!(
+        "serve-cluster: {} requests at {} req/s ({} arrivals) over {} component graphs ({})\n\
+         fleet: {} replicas x {} streams, router {}, autoscale {}\n\
+         tenants: {}\n\
+         batching: max {} per batch, {} ms max delay, queue capacity {}\n\
+         reliability: fault rate {}, {} retries\n\n{}",
+        opts.requests,
+        opts.rate,
+        opts.arrivals,
+        exec.num_components(),
+        engines[0].spec().name,
+        opts.replicas,
+        opts.streams,
+        cfg.router.label(),
+        autoscale_str,
+        roster.join(", "),
+        opts.batch_size,
+        opts.max_delay_ms,
+        opts.queue_cap,
+        opts.fault_rate,
+        opts.retries,
+        report.render(),
+    ))
+}
+
 fn model_order(model: &str) -> Result<gnnadvisor_core::input::AggOrder, String> {
     match model {
         "gcn" | "sage" => Ok(gnnadvisor_core::input::AggOrder::UpdateThenAggregate),
@@ -808,6 +1163,7 @@ COMMANDS:
     compare    all execution strategies on one aggregation pass
     tune       the Section 7 Modeling & Estimating pipeline (two-tier)
     serve-sim  multi-stream serving runtime with dynamic batching
+    serve-cluster  replicated serving: router, tenants, autoscaler
 
 OPTIONS:
     --dataset NAME       a Table 1 dataset (e.g. Cora, artist, DD)
@@ -840,6 +1196,23 @@ SERVE-SIM OPTIONS:
     --fault-rate F       injected device-fault rate in [0, 1] (default 0)
     --retries N          retries per faulted batch (default 2)
     --deadline-ms D      per-request completion deadline, ms (default none)
+
+SERVE-CLUSTER OPTIONS (plus all serve-sim options):
+    --replicas N         replica engines behind the router (default 2)
+    --router P           round-robin | least-loaded | cost-aware (default)
+    --tenants SPEC       roster NAME:WEIGHT[:DEADLINE_MS],... — weighted-fair
+                         admission shares + per-tenant SLOs (default: one
+                         tenant carrying --deadline-ms)
+    --autoscale MIN:MAX  seeded queue-depth/p99 autoscaler bounds (default off)
+    --scale-high N       queue depth that votes to scale up (default 8)
+    --scale-low N        queue depth that votes to scale down (default 1)
+    --scale-interval-ms I  autoscaler control cadence (default 5)
+    --scale-p99-ms P     p99 estimate above P also votes to scale up
+    --arrivals A         poisson | mmpp — bursty state-switching (default poisson)
+    --burst F            mmpp: heavy phase is F times the mean rate (default 4)
+    --dwell-ms D         mmpp: mean phase dwell (default 5)
+    --reset-replica R:MS kill replica R with a device reset at MS — the
+                         fleet retries its batches elsewhere
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -853,6 +1226,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "compare" => compare(&opts),
         "tune" => tune(&opts),
         "serve-sim" => serve_sim(&opts),
+        "serve-cluster" => serve_cluster(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -1134,6 +1508,103 @@ mod tests {
             !retries_line.trim_end().ends_with(" 0"),
             "expected non-zero retries: {retries_line}"
         );
+    }
+
+    #[test]
+    fn serve_cluster_report_is_deterministic() {
+        let cmd = "serve-cluster --requests 32 --rate 4000 --batch-size 4 --streams 2 \
+                   --replicas 2 --scale 0.02";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "serve-cluster must be byte-identical run-to-run");
+        for needle in [
+            "cluster-serving report",
+            "router cost-aware",
+            "replica submissions",
+            "goodput",
+            "tenant default",
+            "slo",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn serve_cluster_tenants_and_failover_report_their_rows() {
+        let cmd = "serve-cluster --requests 48 --rate 4000 --batch-size 4 --streams 2 \
+                   --replicas 2 --scale 0.02 --tenants batch:3,online:1:40 \
+                   --reset-replica 0:0.5 --retries 3";
+        let out = dispatch(&args(cmd)).expect("runs");
+        assert!(out.contains("tenant batch"), "{out}");
+        assert!(out.contains("tenant online"), "{out}");
+        assert!(out.contains("slo 40ms"), "{out}");
+        assert!(out.contains("dead replicas        0"), "{out}");
+        // Byte-identical replay under chaos too.
+        assert_eq!(out, dispatch(&args(cmd)).expect("runs"));
+    }
+
+    #[test]
+    fn serve_cluster_mmpp_and_autoscaler_run() {
+        let cmd = "serve-cluster --requests 48 --rate 4000 --batch-size 4 --streams 2 \
+                   --scale 0.02 --arrivals mmpp --burst 8 --dwell-ms 2 \
+                   --autoscale 1:3 --scale-interval-ms 1 --scale-high 6";
+        let out = dispatch(&args(cmd)).expect("runs");
+        assert!(out.contains("(mmpp arrivals)"), "{out}");
+        assert!(out.contains("autoscale 1..3 replicas"), "{out}");
+        // The burst shifts the trace relative to Poisson at the same seed.
+        let poisson = dispatch(&args(
+            "serve-cluster --requests 48 --rate 4000 --batch-size 4 --streams 2 --scale 0.02",
+        ))
+        .expect("runs");
+        assert_ne!(out, poisson);
+    }
+
+    #[test]
+    fn serve_cluster_options_validated_at_parse() {
+        assert!(CliOptions::parse(&args("--replicas 0"))
+            .expect_err("zero replicas")
+            .contains("--replicas"));
+        assert!(CliOptions::parse(&args("--router random"))
+            .expect_err("bad router")
+            .contains("--router"));
+        for bad in ["solo", "a:0", "a:1:nan", "a:1:-3", ":2"] {
+            assert!(CliOptions::parse(&args(&format!("--tenants {bad}")))
+                .expect_err(bad)
+                .contains("--tenants"));
+        }
+        assert!(CliOptions::parse(&args("--tenants batch:3,online:1:40")).is_ok());
+        for bad in ["3", "0:2", "4:2", "a:b"] {
+            assert!(CliOptions::parse(&args(&format!("--autoscale {bad}")))
+                .expect_err(bad)
+                .contains("--autoscale"));
+        }
+        assert!(CliOptions::parse(&args("--autoscale 1:4")).is_ok());
+        assert!(CliOptions::parse(&args("--scale-low 8 --scale-high 8"))
+            .expect_err("inverted watermarks")
+            .contains("--scale-low"));
+        assert!(CliOptions::parse(&args("--scale-interval-ms 0"))
+            .expect_err("zero cadence")
+            .contains("--scale-interval-ms"));
+        assert!(CliOptions::parse(&args("--scale-p99-ms -1"))
+            .expect_err("negative p99")
+            .contains("--scale-p99-ms"));
+        assert!(CliOptions::parse(&args("--arrivals uniform"))
+            .expect_err("bad arrivals")
+            .contains("--arrivals"));
+        for bad in ["1", "0.5", "nan"] {
+            assert!(CliOptions::parse(&args(&format!("--burst {bad}")))
+                .expect_err(bad)
+                .contains("--burst"));
+        }
+        assert!(CliOptions::parse(&args("--dwell-ms 0"))
+            .expect_err("zero dwell")
+            .contains("--dwell-ms"));
+        for bad in ["1", "1:0", "x:2", "1:nan"] {
+            assert!(CliOptions::parse(&args(&format!("--reset-replica {bad}")))
+                .expect_err(bad)
+                .contains("--reset-replica"));
+        }
+        assert!(CliOptions::parse(&args("--reset-replica 0:0.5")).is_ok());
     }
 
     #[test]
