@@ -28,19 +28,29 @@ use std::time::Instant;
 use gnnadvisor_core::cluster::{
     assign_tenants, simulate_cluster, ClusterConfig, ClusterReport, RouterPolicy, TenantSpec,
 };
+use gnnadvisor_core::dynamic::{
+    generate_updates, simulate_dynamic, DynamicConfig, DynamicReport, RenumberPolicy,
+    SnapshotAggregationKernel, SnapshotExecutor, SnapshotKernelHandle, UpdateStreamConfig,
+};
 use gnnadvisor_core::input::{extract, AggOrder};
 use gnnadvisor_core::serving::{
-    generate_arrivals, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy,
+    generate_arrivals, ArrivalConfig, BatchPolicy, BatchWork, DeviceWork, DispatchedBatch,
+    QueuePolicy, RetryPolicy, ServingConfig,
 };
 use gnnadvisor_core::tuning::{
     aggregation_metrics, tune_two_tier, Estimator, EstimatorConfig, TwoTierConfig,
 };
+use gnnadvisor_core::RuntimeParams;
 use gnnadvisor_gpu::kernel::WARP_SIZE;
 use gnnadvisor_gpu::{
     ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, RunContext, Workload,
     WorkloadMetrics,
 };
-use gnnadvisor_graph::generators::{barabasi_albert, batched_graph, BatchedParams};
+use gnnadvisor_graph::generators::{
+    barabasi_albert, batched_graph, community_graph, BatchedParams, CommunityParams,
+};
+use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_graph::Csr;
 use gnnadvisor_models::GcnBatchExecutor;
 use serde::{Deserialize, Serialize};
 
@@ -398,6 +408,207 @@ fn bench_cluster(spec: &GpuSpec) -> ClusterBench {
     }
 }
 
+/// One (subsampled) point of a dynamic run's hit-rate trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DynamicTrajectoryRow {
+    /// Batch index in dispatch order.
+    batch: usize,
+    /// Graph version the batch's snapshot was pinned to.
+    version: u64,
+    /// Hit-count-weighted L2 hit-rate of the batch's kernels.
+    hit_rate: f64,
+}
+
+/// One arm (policy off / policy on) of the dynamic-graph scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DynamicArm {
+    /// In-deadline completions per simulated second.
+    goodput_rps: f64,
+    /// Mean kernel hit-rate over the first 8 traffic-carrying batches.
+    head_hit_rate: f64,
+    /// Mean kernel hit-rate over the last 8 traffic-carrying batches.
+    tail_hit_rate: f64,
+    /// Locality-triggered rebuilds the run performed.
+    renumbers: usize,
+    /// Final graph version (updates + rebuilds).
+    final_version: u64,
+    /// Every 8th batch of the version-tagged hit-rate trajectory.
+    trajectory: Vec<DynamicTrajectoryRow>,
+}
+
+/// Dynamic-graph serving: the same seeded churn stream served with the
+/// re-renumbering policy off (the layout decays forever) and on (the
+/// watermark trips a rebuild whose recovered kernel speed pays back the
+/// stall). Simulated time, host-independent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DynamicBench {
+    /// Base graph + layout, for reproducibility.
+    graph: String,
+    /// Update-stream shape.
+    churn: String,
+    /// Requests in the saturating arrival trace.
+    requests: usize,
+    /// The decay arm: no policy, the renumbered layout erodes.
+    without_policy: DynamicArm,
+    /// The recovery arm: watermark-triggered rebuild mid-run.
+    with_policy: DynamicArm,
+    /// with / without goodput (the acceptance-criterion number; must
+    /// exceed 1.0 — the rebuild stall is charged on the same clock).
+    goodput_recovery: f64,
+    /// Whether the policy-on report renders byte-identically at 1 and 4
+    /// simulation worker threads.
+    deterministic: bool,
+}
+
+/// Aggregation-only snapshot executor: one advisor aggregation over the
+/// live snapshot per batch, so the measured hit-rate *is* the layout's
+/// locality (the models-crate GCN executor adds GEMM/stacking traffic
+/// that dilutes the signal; the bench isolates it).
+struct AggExecutor {
+    dim: usize,
+    prepared: Option<(u64, std::sync::Arc<SnapshotAggregationKernel>)>,
+}
+
+impl SnapshotExecutor for AggExecutor {
+    fn plan(
+        &mut self,
+        batch: &DispatchedBatch,
+        graph: &Csr,
+        version: u64,
+    ) -> gnnadvisor_core::Result<BatchWork> {
+        if batch.requests.is_empty() {
+            return Ok(BatchWork::default());
+        }
+        if self.prepared.as_ref().map(|(v, _)| *v) != Some(version) {
+            let kernel =
+                SnapshotAggregationKernel::prepare(graph, self.dim, RuntimeParams::default())?;
+            self.prepared = Some((version, std::sync::Arc::new(kernel)));
+        }
+        let kernel = self.prepared.as_ref().expect("just prepared").1.clone();
+        Ok(BatchWork {
+            ops: vec![
+                DeviceWork::Transfer {
+                    bytes: (batch.requests.len() * 64) as u64,
+                },
+                DeviceWork::Kernel(Box::new(SnapshotKernelHandle(kernel))),
+            ],
+        })
+    }
+}
+
+/// Runs one arm of the dynamic scenario: a freshly renumbered community
+/// graph under attachment-heavy churn, arrivals paced to saturate the
+/// device so goodput measures kernel speed, not the arrival window.
+fn dynamic_report(
+    spec: &GpuSpec,
+    policy: Option<RenumberPolicy>,
+    sim_threads: usize,
+) -> DynamicReport {
+    let (shuffled, _) = community_graph(
+        &CommunityParams {
+            num_nodes: 2_000,
+            num_edges: 24_000,
+            mean_community: 40,
+            community_size_cv: 0.3,
+            inter_fraction: 0.08,
+            shuffle_ids: true,
+        },
+        1,
+    )
+    .expect("valid community graph");
+    let r = renumber(&shuffled, &RenumberConfig::default()).expect("renumbering runs");
+    let base = shuffled.permute(&r.permutation).expect("valid permutation");
+    let updates = generate_updates(
+        &base,
+        &UpdateStreamConfig {
+            num_updates: 10_000,
+            mean_interarrival_ms: 0.0001,
+            delete_fraction: 0.15,
+            node_fraction: 0.25,
+            attach_degree: 6,
+            seed: 7,
+        },
+    )
+    .expect("valid update stream");
+    let arrivals = generate_arrivals(&ArrivalConfig {
+        num_requests: 800,
+        mean_interarrival_ms: 0.002,
+        num_components: 1,
+        seed: 3,
+    })
+    .expect("valid arrival config");
+    let cfg = DynamicConfig {
+        serving: ServingConfig {
+            streams: 1,
+            queue: QueuePolicy { capacity: 64 },
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_delay_ms: 0.2,
+            },
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
+        },
+        policy,
+        compact_every: 64,
+    };
+    let engine = Engine::builder(spec.clone())
+        .sim_threads(sim_threads)
+        .build()
+        .expect("valid engine configuration");
+    let mut exec = AggExecutor {
+        dim: 32,
+        prepared: None,
+    };
+    simulate_dynamic(&[engine], base, &updates, &arrivals, &cfg, &mut exec)
+        .expect("dynamic simulation runs")
+}
+
+fn dynamic_arm(report: &DynamicReport) -> DynamicArm {
+    let last = report.trajectory.len().saturating_sub(1);
+    DynamicArm {
+        goodput_rps: report.serving.goodput_rps,
+        head_hit_rate: report.head_hit_rate(8),
+        tail_hit_rate: report.tail_hit_rate(8),
+        renumbers: report.renumbers.len(),
+        final_version: report.final_version,
+        trajectory: report
+            .trajectory
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 8 == 0 || *i == last)
+            .map(|(_, row)| DynamicTrajectoryRow {
+                batch: row.batch,
+                version: row.version,
+                hit_rate: row.hit_rate,
+            })
+            .collect(),
+    }
+}
+
+/// The decay/recovery comparison plus the policy-on determinism check.
+fn bench_dynamic(spec: &GpuSpec) -> DynamicBench {
+    let policy = RenumberPolicy {
+        window: 8,
+        watermark: 0.95,
+        cooldown_batches: 30,
+        rebuild_cost_us_per_edge: 0.0005,
+    };
+    let without = dynamic_report(spec, None, 1);
+    let with = dynamic_report(spec, Some(policy.clone()), 1);
+    let deterministic = with.render() == dynamic_report(spec, Some(policy), 4).render();
+    DynamicBench {
+        graph: "community_graph(2000 nodes, 24000 edges, seed 1), renumbered".into(),
+        churn: "10000 updates, 0.0001 ms gap: 15% deletes, 25% node arrivals \
+                attaching 6 community edges, 60% uniform inserts"
+            .into(),
+        requests: 800,
+        goodput_recovery: with.serving.goodput_rps / without.serving.goodput_rps.max(1e-12),
+        without_policy: dynamic_arm(&without),
+        with_policy: dynamic_arm(&with),
+        deterministic,
+    }
+}
+
 /// Everything `BENCH_sim.json` records.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchSim {
@@ -433,6 +644,10 @@ struct BenchSim {
     /// Cluster serving: goodput scaling across replica counts and
     /// per-tenant SLO attainment (simulated time, host-independent).
     cluster: ClusterBench,
+    /// Dynamic-graph serving: hit-rate decay under churn without the
+    /// re-renumbering policy vs recovered goodput with it (simulated
+    /// time, host-independent).
+    dynamic: DynamicBench,
     /// How to read the numbers on this host.
     note: String,
 }
@@ -682,6 +897,7 @@ fn main() {
     let hot_loop = bench_hot_loop(&check_engines[0]);
     let tuning = bench_tuning(&spec);
     let cluster = bench_cluster(&spec);
+    let dynamic = bench_dynamic(&spec);
 
     let skip_note = if skipped_worker_counts.is_empty() {
         String::new()
@@ -711,6 +927,7 @@ fn main() {
         hot_loop,
         tuning,
         cluster,
+        dynamic,
         note: format!(
             "speedup_vs_baseline is the algorithmic before/after (seed hot \
              path vs current engine, single thread); speedup_vs_serial is \
@@ -738,6 +955,26 @@ fn main() {
     assert!(
         result.cluster.deterministic,
         "the cluster report must render byte-identically across worker counts"
+    );
+    assert!(
+        result.dynamic.without_policy.tail_hit_rate
+            < result.dynamic.without_policy.head_hit_rate - 0.01,
+        "churn must decay the measured hit-rate without the policy: head {:.4} tail {:.4}",
+        result.dynamic.without_policy.head_hit_rate,
+        result.dynamic.without_policy.tail_hit_rate,
+    );
+    assert!(
+        result.dynamic.with_policy.renumbers > 0,
+        "decay past the watermark must trigger a rebuild"
+    );
+    assert!(
+        result.dynamic.goodput_recovery > 1.0,
+        "re-renumbering must strictly beat the decayed layout, got {:.4}x",
+        result.dynamic.goodput_recovery
+    );
+    assert!(
+        result.dynamic.deterministic,
+        "the dynamic report must render byte-identically across worker counts"
     );
 
     let json = serde_json::to_string_pretty(&result).expect("serializes");
@@ -772,5 +1009,14 @@ fn main() {
             .iter()
             .find(|t| t.tenant == "online")
             .map_or(1.0, |t| t.slo_attainment),
+    );
+    println!(
+        "dynamic: hit-rate {:.4} -> {:.4} without the policy; {} rebuild(s) \
+         recover {:.4} and {:.3}x goodput",
+        result.dynamic.without_policy.head_hit_rate,
+        result.dynamic.without_policy.tail_hit_rate,
+        result.dynamic.with_policy.renumbers,
+        result.dynamic.with_policy.tail_hit_rate,
+        result.dynamic.goodput_recovery,
     );
 }

@@ -1,0 +1,1086 @@
+//! Dynamic-graph serving: queries and graph updates on one clock.
+//!
+//! GNNAdvisor's locality story (Section 6.1, evaluated in §8.2's Type II
+//! result) is a property of the *current* edge layout: community-aware
+//! renumbering packs neighborhoods into consecutive ids, and the SpMM
+//! aggregation's L2 hit-rate rides on that packing. Under a mutating
+//! production graph the packing decays — uniformly random churn threads
+//! long-span edges through the community blocks — and nothing in a
+//! static pipeline notices. This module is the online version of that
+//! result (ROADMAP item 4):
+//!
+//! - updates from a seeded stream ([`gnnadvisor_graph::dynamic`]) are
+//!   interleaved with request arrivals on the simulated clock: every
+//!   update with `at_ms <=` a batch's dispatch instant is applied to the
+//!   live [`DeltaCsr`] before that batch plans;
+//! - each batch executes against a copy-on-write [`GraphSnapshot`] taken
+//!   at plan time, so in-flight work observes one consistent version
+//!   while updates keep applying — the report tags every batch with the
+//!   version it ran against;
+//! - a [`RenumberPolicy`] watches the batches' kernel L2 hit-rate
+//!   through a sliding [`HitRateWindow`]; when the windowed rate sinks
+//!   below `watermark x` the baseline captured after the last rebuild,
+//!   it triggers [`reorder::renumber`] + compaction, charging a rebuild
+//!   stall on the simulated clock that subsequent batches must wait out
+//!   — amortizing the rebuild against the recovered kernel speed.
+//!
+//! The arrival/admission/batching/retry/deadline machinery is the
+//! serving pipeline's, reused verbatim ([`plan_batches`], the stream
+//! round-robin, the conservation invariant); batches may round-robin
+//! across several replica engines (the cluster integration: replicated
+//! serving over one evolving graph). Everything downstream of the seeds
+//! is deterministic and byte-identical at any `GNNADVISOR_SIM_THREADS`.
+
+use gnnadvisor_gpu::stream::OpHandle;
+use gnnadvisor_gpu::{BlockSink, Engine, GridConfig, HitRateWindow, Kernel, StreamSim, Workload};
+use gnnadvisor_graph::dynamic::{DeltaCsr, UpdateEvent, UpdateKind};
+use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_graph::{Csr, NodeId};
+
+use crate::kernels::advisor::AdvisorKernel;
+use crate::memory::organize::{organize_shared, SharedLayout};
+use crate::serving::{
+    plan_batches, BatchWork, DeviceWork, DispatchedBatch, Request, ServingConfig, ServingReport,
+};
+use crate::tuning::params::RuntimeParams;
+use crate::workload::group::{partition_groups, NeighborGroup};
+use crate::{CoreError, Result};
+
+pub use gnnadvisor_graph::dynamic::{generate_updates, GraphSnapshot, UpdateStreamConfig};
+
+/// The GNNAdvisor aggregation kernel pinned to one graph snapshot.
+///
+/// The static runtime borrows its graph and group partition for the
+/// lifetime of a launch; dynamic serving cannot — a batch's device work
+/// outlives the planning borrow while updates keep mutating the live
+/// graph. This wrapper owns the materialized snapshot CSR together with
+/// the Section 5.1 group partition and the Algorithm 1 shared layout
+/// built from it, and reconstructs the borrowing [`AdvisorKernel`] on
+/// demand. Executors build one per graph version and reuse it across the
+/// batches pinned to that version.
+pub struct SnapshotAggregationKernel {
+    graph: Csr,
+    groups: Vec<NeighborGroup>,
+    layout: Option<SharedLayout>,
+    params: RuntimeParams,
+    dim: usize,
+}
+
+impl SnapshotAggregationKernel {
+    /// Partitions `graph` into neighbor groups and (when
+    /// `params.use_shared`) organizes the shared-memory layout, yielding
+    /// a self-contained aggregation kernel at dimensionality `dim`.
+    pub fn prepare(graph: &Csr, dim: usize, params: RuntimeParams) -> Result<Self> {
+        params.validate()?;
+        if dim == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "aggregation dimensionality must be at least 1".into(),
+            });
+        }
+        let groups = partition_groups(graph, params.group_size)?;
+        let layout = params
+            .use_shared
+            .then(|| organize_shared(&groups, params.groups_per_block()));
+        Ok(Self {
+            graph: graph.clone(),
+            groups,
+            layout,
+            params,
+            dim,
+        })
+    }
+
+    fn kernel(&self) -> AdvisorKernel<'_> {
+        AdvisorKernel::new(
+            &self.graph,
+            &self.groups,
+            self.layout.as_ref(),
+            self.dim,
+            self.params,
+        )
+    }
+}
+
+impl Kernel for SnapshotAggregationKernel {
+    fn name(&self) -> &str {
+        "advisor_snapshot_aggregation"
+    }
+
+    fn grid(&self) -> GridConfig {
+        self.kernel().grid()
+    }
+
+    fn emit_block(&self, block_id: usize, sink: &mut BlockSink<'_>) {
+        self.kernel().emit_block(block_id, sink)
+    }
+}
+
+/// A cheap shareable handle to a prepared [`SnapshotAggregationKernel`]:
+/// executors keep one `Arc` per graph version and box one handle per
+/// batch, so re-partitioning happens once per version, not per batch.
+pub struct SnapshotKernelHandle(pub std::sync::Arc<SnapshotAggregationKernel>);
+
+impl Kernel for SnapshotKernelHandle {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn grid(&self) -> GridConfig {
+        self.0.grid()
+    }
+
+    fn emit_block(&self, block_id: usize, sink: &mut BlockSink<'_>) {
+        self.0.emit_block(block_id, sink)
+    }
+}
+
+/// The model-specific half of dynamic serving: turns a dispatched batch
+/// *plus the graph snapshot it is pinned to* into device work. The
+/// snapshot arrives materialized (the runtime caches one materialization
+/// per version) together with its version tag, so an executor can model
+/// resident-graph state (e.g. upload topology only when the version
+/// changed).
+pub trait SnapshotExecutor {
+    /// Plans the device ops for `batch` against `graph` at `version`.
+    fn plan(&mut self, batch: &DispatchedBatch, graph: &Csr, version: u64) -> Result<BatchWork>;
+}
+
+/// The locality-triggered re-renumbering policy.
+///
+/// Trigger math: after every rebuild (and at start) the first full
+/// window's hit-count-weighted rate becomes the *baseline*. A rebuild
+/// fires when the window is full, at least `cooldown_batches` batches
+/// have executed since the last rebuild, and
+///
+/// ```text
+/// windowed_rate < watermark x baseline_rate
+/// ```
+///
+/// The rebuild runs `reorder::renumber` on the live graph, swaps the
+/// [`DeltaCsr`] base for the permuted, compacted CSR (one version bump),
+/// and stalls subsequent batches by `edges x rebuild_cost_us_per_edge`
+/// on the simulated clock — the amortization cost the recovered kernel
+/// speed has to pay back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenumberPolicy {
+    /// Sliding-window length in batches; the policy never fires before
+    /// the window fills.
+    pub window: usize,
+    /// Fraction of the baseline rate below which a rebuild fires, in
+    /// `(0, 1]`.
+    pub watermark: f64,
+    /// Minimum batches between rebuilds (and before the first), so a
+    /// noisy window cannot thrash rebuilds.
+    pub cooldown_batches: usize,
+    /// Simulated rebuild stall per live directed edge, microseconds
+    /// (Louvain + RCM + compaction are roughly linear in edges).
+    pub rebuild_cost_us_per_edge: f64,
+}
+
+impl Default for RenumberPolicy {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            watermark: 0.98,
+            cooldown_batches: 16,
+            rebuild_cost_us_per_edge: 0.02,
+        }
+    }
+}
+
+impl RenumberPolicy {
+    fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(CoreError::Serving {
+                reason: "policy window must be at least 1 batch".into(),
+            });
+        }
+        if !(self.watermark.is_finite() && self.watermark > 0.0 && self.watermark <= 1.0) {
+            return Err(CoreError::Serving {
+                reason: format!("watermark must be in (0, 1], got {}", self.watermark),
+            });
+        }
+        if !(self.rebuild_cost_us_per_edge.is_finite() && self.rebuild_cost_us_per_edge >= 0.0) {
+            return Err(CoreError::Serving {
+                reason: format!(
+                    "rebuild_cost_us_per_edge must be non-negative and finite, got {}",
+                    self.rebuild_cost_us_per_edge
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shape of a dynamic-graph serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicConfig {
+    /// The underlying serving shape (streams per replica, queue, batch,
+    /// retry, deadline policies).
+    pub serving: ServingConfig,
+    /// The re-renumbering policy; `None` serves the decaying layout
+    /// forever (the ablation arm of the bench).
+    pub policy: Option<RenumberPolicy>,
+    /// Fold the delta overlay into the base CSR after this many applied
+    /// updates; `0` compacts only at rebuilds. Compaction never changes
+    /// query results — it bounds overlay walk costs.
+    pub compact_every: usize,
+}
+
+/// One batch's row in the version-tagged hit-rate trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotRow {
+    /// Batch index in dispatch order.
+    pub batch: usize,
+    /// The batch's dispatch instant, ms.
+    pub dispatch_ms: f64,
+    /// Graph version the batch's snapshot was pinned to.
+    pub version: u64,
+    /// Hit-count-weighted L2 hit-rate of the batch's kernels (0 when the
+    /// batch priced no cached traffic).
+    pub hit_rate: f64,
+    /// The policy window's rate after this batch, once the window is
+    /// full and has seen traffic.
+    pub windowed_rate: Option<f64>,
+}
+
+/// One locality-triggered rebuild.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenumberEvent {
+    /// Instant the rebuild started on the simulated clock, ms.
+    pub at_ms: f64,
+    /// Version of the rebuilt graph (one past the decayed layout).
+    pub version: u64,
+    /// The windowed rate that tripped the watermark.
+    pub windowed_rate: f64,
+    /// The baseline rate the watermark was relative to.
+    pub baseline_rate: f64,
+    /// Simulated rebuild stall charged to subsequent batches, ms.
+    pub rebuild_ms: f64,
+}
+
+/// Aggregate report of one dynamic-graph serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicReport {
+    /// The serving-side statistics (latency, throughput, conservation
+    /// buckets) over all replicas.
+    pub serving: ServingReport,
+    /// Replica engines the batches round-robinned across.
+    pub replicas: usize,
+    /// Updates applied to the live graph (effective mutations).
+    pub updates_applied: usize,
+    /// Updates that were no-ops against the live graph (stream-space
+    /// collisions after renumbering never happen; this stays 0 for
+    /// generator streams and is reported for trace replays).
+    pub updates_noop: usize,
+    /// Final graph version.
+    pub final_version: u64,
+    /// Final live node count.
+    pub final_nodes: usize,
+    /// Final live directed edge count.
+    pub final_edges: usize,
+    /// Periodic compactions performed (excluding rebuild compactions).
+    pub compactions: usize,
+    /// Locality-triggered rebuilds, in order.
+    pub renumbers: Vec<RenumberEvent>,
+    /// Per-batch version-tagged hit-rate trajectory, dispatch order.
+    pub trajectory: Vec<SnapshotRow>,
+}
+
+impl DynamicReport {
+    /// Mean per-batch kernel hit-rate over the first `k` batches with
+    /// cache traffic — the "fresh layout" end of the trajectory.
+    pub fn head_hit_rate(&self, k: usize) -> f64 {
+        mean_rate(self.trajectory.iter().filter(|r| r.hit_rate > 0.0).take(k))
+    }
+
+    /// Mean per-batch kernel hit-rate over the last `k` batches with
+    /// cache traffic — where decay (or recovery) shows.
+    pub fn tail_hit_rate(&self, k: usize) -> f64 {
+        let with_traffic: Vec<&SnapshotRow> = self
+            .trajectory
+            .iter()
+            .filter(|r| r.hit_rate > 0.0)
+            .collect();
+        let skip = with_traffic.len().saturating_sub(k);
+        mean_rate(with_traffic.into_iter().skip(skip))
+    }
+
+    /// Lowest full-window rate observed, if any window filled.
+    pub fn min_windowed_rate(&self) -> Option<f64> {
+        self.trajectory
+            .iter()
+            .filter_map(|r| r.windowed_rate)
+            .min_by(|a, b| a.partial_cmp(b).expect("rates are finite"))
+    }
+
+    /// Renders the report as a deterministic fixed-precision table (the
+    /// CLI prints this; CI diffs it byte-for-byte across runs and worker
+    /// counts).
+    pub fn render(&self) -> String {
+        let mut out = self.serving.render();
+        out.push_str("dynamic-graph report\n");
+        out.push_str(&format!("  replicas             {}\n", self.replicas));
+        out.push_str(&format!(
+            "  updates applied      {}\n",
+            self.updates_applied
+        ));
+        out.push_str(&format!("  update no-ops        {}\n", self.updates_noop));
+        out.push_str(&format!("  final version        {}\n", self.final_version));
+        out.push_str(&format!(
+            "  final graph          {} nodes / {} edges\n",
+            self.final_nodes, self.final_edges
+        ));
+        out.push_str(&format!("  compactions          {}\n", self.compactions));
+        out.push_str(&format!(
+            "  hit-rate head        {:.4}\n",
+            self.head_hit_rate(8)
+        ));
+        out.push_str(&format!(
+            "  hit-rate tail        {:.4}\n",
+            self.tail_hit_rate(8)
+        ));
+        match self.min_windowed_rate() {
+            Some(r) => out.push_str(&format!("  hit-rate low water   {r:.4}\n")),
+            None => out.push_str("  hit-rate low water   n/a\n"),
+        }
+        out.push_str(&format!(
+            "  re-renumber events   {}\n",
+            self.renumbers.len()
+        ));
+        for e in &self.renumbers {
+            out.push_str(&format!(
+                "    at {:.3} ms -> v{}  window {:.4} < {:.4}  rebuild {:.3} ms\n",
+                e.at_ms, e.version, e.windowed_rate, e.baseline_rate, e.rebuild_ms
+            ));
+        }
+        out
+    }
+}
+
+fn mean_rate<'a, I: Iterator<Item = &'a SnapshotRow>>(rows: I) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0usize);
+    for r in rows {
+        sum += r.hit_rate;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// How one batch's retry chain ended (mirrors the serving pipeline).
+enum BatchOutcome {
+    Done(Option<OpHandle>),
+    Exhausted,
+}
+
+/// The mutable graph side of the run: the live delta CSR plus the
+/// stream-space → current-space id map that survives renumbering.
+struct LiveGraph {
+    delta: DeltaCsr,
+    /// `id_map[stream_id] = current id`; updates reference stream-space
+    /// ids so one generated stream drives renumbered and non-renumbered
+    /// runs identically.
+    id_map: Vec<NodeId>,
+    /// One materialized CSR per version, rebuilt lazily.
+    cache: Option<(u64, Csr)>,
+}
+
+impl LiveGraph {
+    fn new(base: Csr) -> Self {
+        let n = base.num_nodes();
+        Self {
+            delta: DeltaCsr::new(base),
+            id_map: (0..n as NodeId).collect(),
+            cache: None,
+        }
+    }
+
+    fn map(&self, stream_id: NodeId) -> Result<NodeId> {
+        self.id_map
+            .get(stream_id as usize)
+            .copied()
+            .ok_or_else(|| CoreError::Serving {
+                reason: format!(
+                    "update references stream-space node {stream_id} but only {} exist",
+                    self.id_map.len()
+                ),
+            })
+    }
+
+    /// Applies one update; returns whether it mutated the graph.
+    fn apply(&mut self, ev: &UpdateEvent) -> Result<bool> {
+        Ok(match ev.kind {
+            UpdateKind::InsertEdge { u, v } => {
+                let (u, v) = (self.map(u)?, self.map(v)?);
+                self.delta.insert_edge(u, v)?
+            }
+            UpdateKind::DeleteEdge { u, v } => {
+                let (u, v) = (self.map(u)?, self.map(v)?);
+                self.delta.delete_edge(u, v)?
+            }
+            UpdateKind::AddNode => {
+                let id = self.delta.add_node();
+                self.id_map.push(id);
+                true
+            }
+        })
+    }
+
+    /// The materialized CSR of the current version (cached per version).
+    fn materialized(&mut self) -> (&Csr, u64) {
+        let version = self.delta.version();
+        if self.cache.as_ref().map(|(v, _)| *v) != Some(version) {
+            self.cache = Some((version, self.delta.to_csr()));
+        }
+        let (v, csr) = self.cache.as_ref().expect("just filled");
+        (csr, *v)
+    }
+
+    /// Renumbers + compacts the live graph, remapping the id map;
+    /// returns the rebuilt edge count.
+    fn rebuild(&mut self) -> Result<usize> {
+        let live = self.delta.to_csr();
+        let r = renumber(&live, &RenumberConfig::default())?;
+        let permuted = live.permute(&r.permutation)?;
+        let edges = permuted.num_edges();
+        for id in &mut self.id_map {
+            *id = r.permutation.new_of(*id);
+        }
+        self.delta = DeltaCsr::with_version(permuted, self.delta.version() + 1);
+        self.cache = None;
+        Ok(edges)
+    }
+}
+
+/// Runs the dynamic-graph serving pipeline: batches planned from
+/// `arrivals` round-robin across `engines x cfg.serving.streams`
+/// simulated streams; updates due by each batch's dispatch instant are
+/// applied first; the batch executes against a consistent snapshot of
+/// the live graph; and the optional [`RenumberPolicy`] rebuilds the
+/// layout when the measured locality signal sinks below its watermark.
+///
+/// `updates` must be sorted by `at_ms` (as [`generate_updates`]
+/// produces) and reference stream-space node ids; `base` must be
+/// symmetric (the renumbering pipeline's contract).
+pub fn simulate_dynamic(
+    engines: &[Engine],
+    base: Csr,
+    updates: &[UpdateEvent],
+    arrivals: &[Request],
+    cfg: &DynamicConfig,
+    exec: &mut dyn SnapshotExecutor,
+) -> Result<DynamicReport> {
+    if engines.is_empty() {
+        return Err(CoreError::Serving {
+            reason: "at least one replica engine is required".into(),
+        });
+    }
+    if cfg.serving.streams == 0 {
+        return Err(CoreError::Serving {
+            reason: "streams must be at least 1".into(),
+        });
+    }
+    cfg.serving.retry.validate()?;
+    if let Some(d) = cfg.serving.deadline_ms {
+        if !(d.is_finite() && d > 0.0) {
+            return Err(CoreError::Serving {
+                reason: format!("deadline_ms must be positive and finite, got {d}"),
+            });
+        }
+    }
+    if let Some(p) = &cfg.policy {
+        p.validate()?;
+    }
+    if updates.windows(2).any(|w| w[0].at_ms > w[1].at_ms) {
+        return Err(CoreError::Serving {
+            reason: "updates must be sorted by at_ms".into(),
+        });
+    }
+    if !base.is_symmetric() {
+        return Err(CoreError::Serving {
+            reason: "dynamic serving requires a symmetric base graph (renumbering contract)".into(),
+        });
+    }
+
+    let plan = plan_batches(arrivals, &cfg.serving.queue, &cfg.serving.batch)?;
+    let spec = engines[0].spec();
+
+    let mut sims: Vec<StreamSim<'_>> = engines.iter().map(StreamSim::new).collect();
+    let slots: Vec<(usize, gnnadvisor_gpu::StreamId)> = {
+        let mut slots = Vec::with_capacity(engines.len() * cfg.serving.streams);
+        for (replica, sim) in sims.iter_mut().enumerate() {
+            for _ in 0..cfg.serving.streams {
+                slots.push((replica, sim.stream()));
+            }
+        }
+        slots
+    };
+
+    let mut live = LiveGraph::new(base);
+    let mut update_idx = 0usize;
+    let mut updates_applied = 0usize;
+    let mut updates_noop = 0usize;
+    let mut applied_since_compact = 0usize;
+    let mut compactions = 0usize;
+
+    let policy = cfg.policy.as_ref();
+    let mut window = policy.map(|p| HitRateWindow::new(p.window));
+    let mut baseline: Option<f64> = None;
+    let mut batches_since_rebuild = 0usize;
+    let mut maintenance_until_ms = 0.0f64;
+
+    let mut outcomes: Vec<(usize, BatchOutcome)> = Vec::with_capacity(plan.batches.len());
+    let mut trajectory: Vec<SnapshotRow> = Vec::with_capacity(plan.batches.len());
+    let mut renumbers: Vec<RenumberEvent> = Vec::new();
+    let mut retries = 0u64;
+
+    for (i, batch) in plan.batches.iter().enumerate() {
+        // 1. Apply every update due by this batch's dispatch instant.
+        while update_idx < updates.len() && updates[update_idx].at_ms <= batch.dispatch_ms {
+            if live.apply(&updates[update_idx])? {
+                updates_applied += 1;
+                applied_since_compact += 1;
+            } else {
+                updates_noop += 1;
+            }
+            update_idx += 1;
+            if cfg.compact_every > 0 && applied_since_compact >= cfg.compact_every {
+                live.delta.compact();
+                compactions += 1;
+                applied_since_compact = 0;
+            }
+        }
+
+        // 2. Pin the batch to a consistent snapshot (cached per version)
+        //    and plan its device work against it.
+        let (graph, version) = {
+            let (graph, version) = live.materialized();
+            (graph.clone(), version)
+        };
+        let work = exec.plan(batch, &graph, version)?;
+
+        // 3. Execute on the round-robin slot; a pending rebuild stall
+        //    pushes the release time past the dispatch instant.
+        let (replica, stream) = slots[i % slots.len()];
+        let sim = &mut sims[replica];
+        let mut release_ms = batch.dispatch_ms.max(maintenance_until_ms);
+        let mut outcome = BatchOutcome::Exhausted;
+        let (mut batch_hits, mut batch_misses) = (0u64, 0u64);
+        for attempt in 1..=cfg.serving.retry.max_attempts {
+            let release = spec.ms_to_cycles(release_ms);
+            let mut tail = None;
+            let mut attempt_cycles = 0u64;
+            let mut faulted = false;
+            for op in &work.ops {
+                let workload = match op {
+                    DeviceWork::Kernel(k) => Workload::Kernel(&**k),
+                    DeviceWork::Gemm { m, n, k } => Workload::Gemm {
+                        m: *m,
+                        n: *n,
+                        k: *k,
+                    },
+                    DeviceWork::Transfer { bytes } => Workload::Transfer { bytes: *bytes },
+                };
+                let enq = sim.try_enqueue_at(stream, workload, release)?;
+                attempt_cycles += spec.ms_to_cycles(enq.metrics.time_ms());
+                if attempt == 1 {
+                    // The locality signal: kernel L2 traffic of the first
+                    // attempt (retries re-price the same layout).
+                    if let Some(k) = enq.metrics.as_kernel() {
+                        batch_hits += k.l2_hits;
+                        batch_misses += k.l2_misses;
+                    }
+                }
+                if enq.fault.is_some() {
+                    faulted = true;
+                    break;
+                }
+                tail = Some(enq.handle);
+            }
+            if !faulted {
+                outcome = BatchOutcome::Done(tail);
+                break;
+            }
+            if attempt == cfg.serving.retry.max_attempts {
+                break;
+            }
+            retries += 1;
+            release_ms = spec.cycles_to_ms(release + attempt_cycles)
+                + cfg.serving.retry.backoff_ms(i, attempt);
+        }
+        outcomes.push((replica, outcome));
+
+        // 4. Feed the policy and maybe rebuild.
+        let batch_rate = if batch_hits + batch_misses == 0 {
+            0.0
+        } else {
+            batch_hits as f64 / (batch_hits + batch_misses) as f64
+        };
+        let mut windowed_rate = None;
+        if let (Some(p), Some(w)) = (policy, window.as_mut()) {
+            w.push(batch_hits, batch_misses);
+            batches_since_rebuild += 1;
+            if w.is_full() {
+                if let Some(rate) = w.rate() {
+                    windowed_rate = Some(rate);
+                    match baseline {
+                        None => baseline = Some(rate),
+                        Some(b)
+                            if rate < p.watermark * b
+                                && batches_since_rebuild >= p.cooldown_batches =>
+                        {
+                            let edges = live.rebuild()?;
+                            let rebuild_ms = edges as f64 * p.rebuild_cost_us_per_edge / 1000.0;
+                            maintenance_until_ms = release_ms + rebuild_ms;
+                            renumbers.push(RenumberEvent {
+                                at_ms: release_ms,
+                                version: live.delta.version(),
+                                windowed_rate: rate,
+                                baseline_rate: b,
+                                rebuild_ms,
+                            });
+                            w.clear();
+                            baseline = None;
+                            batches_since_rebuild = 0;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        trajectory.push(SnapshotRow {
+            batch: i,
+            dispatch_ms: batch.dispatch_ms,
+            version,
+            hit_rate: batch_rate,
+            windowed_rate,
+        });
+    }
+
+    // 5. Run every replica's schedule and aggregate per-request latencies
+    //    exactly like the serving pipeline.
+    let reports: Vec<_> = sims
+        .into_iter()
+        .map(|sim| sim.run())
+        .collect::<core::result::Result<_, _>>()?;
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut failed = 0usize;
+    let mut deadline_missed = 0usize;
+    let mut span_ms = reports.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+    for (i, (replica, outcome)) in outcomes.into_iter().enumerate() {
+        let batch = &plan.batches[i];
+        match outcome {
+            BatchOutcome::Exhausted => failed += batch.requests.len(),
+            BatchOutcome::Done(tail) => {
+                let end_cycles = match tail {
+                    Some(handle) => reports[replica]
+                        .op_end(handle)
+                        .expect("committed op has a span"),
+                    None => spec.ms_to_cycles(batch.dispatch_ms),
+                };
+                let end_ms = spec.cycles_to_ms(end_cycles);
+                span_ms = span_ms.max(end_ms);
+                for request in &batch.requests {
+                    let latency = (end_ms - request.arrival_ms).max(0.0);
+                    match cfg.serving.deadline_ms {
+                        Some(d) if latency > d => deadline_missed += 1,
+                        _ => latencies.push(latency),
+                    }
+                }
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    let completed = latencies.len();
+    let mean_ms = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / completed as f64
+    };
+    let served = completed + deadline_missed;
+    let (throughput_rps, goodput_rps) = if span_ms > 0.0 {
+        (
+            served as f64 * 1000.0 / span_ms,
+            completed as f64 * 1000.0 / span_ms,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    let serving = ServingReport {
+        completed,
+        shed: plan.shed,
+        failed,
+        deadline_missed,
+        retries,
+        batches: plan.batches.len(),
+        p50_ms: crate::serving::percentile(&latencies, 50.0),
+        p95_ms: crate::serving::percentile(&latencies, 95.0),
+        p99_ms: crate::serving::percentile(&latencies, 99.0),
+        mean_ms,
+        throughput_rps,
+        goodput_rps,
+        makespan_ms: reports.iter().map(|r| r.makespan_ms).fold(0.0, f64::max),
+        kernel_busy_cycles: reports.iter().map(|r| r.kernel_busy_cycles).sum(),
+        copy_busy_cycles: reports.iter().map(|r| r.copy_busy_cycles).sum(),
+    };
+    Ok(DynamicReport {
+        serving,
+        replicas: engines.len(),
+        updates_applied,
+        updates_noop,
+        final_version: live.delta.version(),
+        final_nodes: live.delta.num_nodes(),
+        final_edges: live.delta.num_edges(),
+        compactions,
+        renumbers,
+        trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::{generate_arrivals, ArrivalConfig, BatchPolicy, QueuePolicy, RetryPolicy};
+    use gnnadvisor_gpu::GpuSpec;
+    use gnnadvisor_graph::generators::{community_graph, CommunityParams};
+
+    /// An aggregation-only executor: one GNNAdvisor aggregation over the
+    /// snapshot per batch (plus a token transfer), so the batch hit-rate
+    /// *is* the layout's locality. One prepared kernel per version.
+    struct SpmmExecutor {
+        dim: usize,
+        prepared: Option<(u64, std::sync::Arc<SnapshotAggregationKernel>)>,
+    }
+
+    impl SpmmExecutor {
+        fn new(dim: usize) -> Self {
+            Self {
+                dim,
+                prepared: None,
+            }
+        }
+    }
+
+    impl SnapshotExecutor for SpmmExecutor {
+        fn plan(
+            &mut self,
+            batch: &DispatchedBatch,
+            graph: &Csr,
+            version: u64,
+        ) -> Result<BatchWork> {
+            if batch.requests.is_empty() {
+                return Ok(BatchWork::default());
+            }
+            if self.prepared.as_ref().map(|(v, _)| *v) != Some(version) {
+                let kernel =
+                    SnapshotAggregationKernel::prepare(graph, self.dim, RuntimeParams::default())?;
+                self.prepared = Some((version, std::sync::Arc::new(kernel)));
+            }
+            let kernel = self.prepared.as_ref().expect("just prepared").1.clone();
+            Ok(BatchWork {
+                ops: vec![
+                    DeviceWork::Transfer {
+                        bytes: (batch.requests.len() * 64) as u64,
+                    },
+                    DeviceWork::Kernel(Box::new(SnapshotKernelHandle(kernel))),
+                ],
+            })
+        }
+    }
+
+    fn renumbered_base_sized(nodes: usize, edges: usize, seed: u64) -> Csr {
+        let (g, _) = community_graph(
+            &CommunityParams {
+                num_nodes: nodes,
+                num_edges: edges,
+                mean_community: 40,
+                community_size_cv: 0.3,
+                inter_fraction: 0.08,
+                shuffle_ids: true,
+            },
+            seed,
+        )
+        .expect("valid");
+        let r = renumber(&g, &RenumberConfig::default()).expect("valid");
+        g.permute(&r.permutation).expect("valid")
+    }
+
+    fn renumbered_base(seed: u64) -> Csr {
+        renumbered_base_sized(800, 9_600, seed)
+    }
+
+    fn updates_for(base: &Csr, n: usize, seed: u64) -> Vec<UpdateEvent> {
+        // Attachment-heavy churn: arrivals wire into communities at the
+        // id-space tail, the decay re-renumbering can undo.
+        generate_updates(
+            base,
+            &UpdateStreamConfig {
+                num_updates: n,
+                mean_interarrival_ms: 0.008,
+                delete_fraction: 0.15,
+                node_fraction: 0.25,
+                attach_degree: 6,
+                seed,
+            },
+        )
+        .expect("valid")
+    }
+
+    fn arrivals(n: usize, gap_ms: f64, seed: u64) -> Vec<Request> {
+        generate_arrivals(&ArrivalConfig {
+            num_requests: n,
+            mean_interarrival_ms: gap_ms,
+            num_components: 1,
+            seed,
+        })
+        .expect("valid")
+    }
+
+    fn config(policy: Option<RenumberPolicy>) -> DynamicConfig {
+        DynamicConfig {
+            serving: ServingConfig {
+                streams: 2,
+                queue: QueuePolicy { capacity: 64 },
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_delay_ms: 0.2,
+                },
+                retry: RetryPolicy::default(),
+                deadline_ms: None,
+            },
+            policy,
+            compact_every: 64,
+        }
+    }
+
+    fn engine(sim_threads: usize) -> Engine {
+        Engine::builder(GpuSpec::quadro_p6000())
+            .sim_threads(sim_threads)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn hit_rate_decays_without_the_policy() {
+        let base = renumbered_base_sized(2_000, 24_000, 1);
+        let updates = generate_updates(
+            &base,
+            &UpdateStreamConfig {
+                num_updates: 6_000,
+                mean_interarrival_ms: 0.00015,
+                delete_fraction: 0.15,
+                node_fraction: 0.25,
+                attach_degree: 6,
+                seed: 7,
+            },
+        )
+        .expect("valid");
+        let trace = arrivals(320, 0.004, 3);
+        let report = simulate_dynamic(
+            &[engine(1)],
+            base,
+            &updates,
+            &trace,
+            &config(None),
+            &mut SpmmExecutor::new(32),
+        )
+        .expect("runs");
+        assert_eq!(
+            report.serving.completed as u64 + report.serving.shed,
+            320,
+            "conservation"
+        );
+        assert!(report.updates_applied > 0);
+        assert!(report.renumbers.is_empty());
+        let head = report.head_hit_rate(8);
+        let tail = report.tail_hit_rate(8);
+        assert!(
+            tail < head - 0.01,
+            "churn must decay the measured hit-rate: head={head:.4} tail={tail:.4}"
+        );
+        // Version tags are monotone and advance with the updates.
+        assert!(report
+            .trajectory
+            .windows(2)
+            .all(|w| w[0].version <= w[1].version));
+        assert!(report.final_version > 0);
+    }
+
+    #[test]
+    fn policy_triggers_and_recovers_goodput() {
+        // Saturating pacing: arrivals outrun the device, so the span is
+        // service-dominated and kernel speed is what goodput measures.
+        // Churn lands over the first ~half of the trace; the policy's
+        // rebuild amortizes against the recovered-locality second half.
+        let base = renumbered_base_sized(2_000, 24_000, 1);
+        let updates = generate_updates(
+            &base,
+            &UpdateStreamConfig {
+                num_updates: 10_000,
+                mean_interarrival_ms: 0.0001,
+                delete_fraction: 0.15,
+                node_fraction: 0.25,
+                attach_degree: 6,
+                seed: 7,
+            },
+        )
+        .expect("valid");
+        let trace = arrivals(800, 0.002, 3);
+        let policy = RenumberPolicy {
+            window: 8,
+            watermark: 0.95,
+            cooldown_batches: 30,
+            rebuild_cost_us_per_edge: 0.0005,
+        };
+        let mut cfg = config(None);
+        cfg.serving.streams = 1;
+        let without = simulate_dynamic(
+            &[engine(1)],
+            base.clone(),
+            &updates,
+            &trace,
+            &cfg,
+            &mut SpmmExecutor::new(32),
+        )
+        .expect("runs");
+        cfg.policy = Some(policy);
+        let with = simulate_dynamic(
+            &[engine(1)],
+            base,
+            &updates,
+            &trace,
+            &cfg,
+            &mut SpmmExecutor::new(32),
+        )
+        .expect("runs");
+        assert!(
+            !with.renumbers.is_empty(),
+            "decay past the watermark must trigger a rebuild"
+        );
+        assert!(
+            with.tail_hit_rate(8) > without.tail_hit_rate(8),
+            "rebuild must recover the tail hit-rate: with={:.4} without={:.4}",
+            with.tail_hit_rate(8),
+            without.tail_hit_rate(8)
+        );
+        assert!(
+            with.serving.goodput_rps > without.serving.goodput_rps,
+            "recovered locality must beat the decayed layout: with={:.3} without={:.3}",
+            with.serving.goodput_rps,
+            without.serving.goodput_rps
+        );
+        // The rebuild bumps the version by exactly one beyond the updates.
+        let e = &with.renumbers[0];
+        assert!(e.rebuild_ms > 0.0);
+        assert!(e.windowed_rate < e.baseline_rate);
+    }
+
+    #[test]
+    fn reports_are_identical_across_runs_and_worker_counts() {
+        let base = renumbered_base(2);
+        let updates = updates_for(&base, 800, 11);
+        let trace = arrivals(48, 0.3, 5);
+        let cfg = config(Some(RenumberPolicy::default()));
+        let render_at = |sim_threads: usize| {
+            simulate_dynamic(
+                &[engine(sim_threads), engine(sim_threads)],
+                base.clone(),
+                &updates,
+                &trace,
+                &cfg,
+                &mut SpmmExecutor::new(16),
+            )
+            .expect("runs")
+            .render()
+        };
+        let serial = render_at(1);
+        assert_eq!(render_at(1), serial, "same seeds, same report");
+        assert_eq!(render_at(4), serial, "worker count must not leak");
+    }
+
+    #[test]
+    fn conservation_holds_under_faults_and_deadlines() {
+        use gnnadvisor_gpu::{FaultConfig, FaultPlan};
+        let base = renumbered_base(3);
+        let updates = updates_for(&base, 400, 13);
+        let trace = arrivals(40, 0.3, 9);
+        let mut cfg = config(Some(RenumberPolicy::default()));
+        cfg.serving.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0.25,
+            seed: 13,
+            ..RetryPolicy::default()
+        };
+        cfg.serving.deadline_ms = Some(30.0);
+        let chaotic = Engine::builder(GpuSpec::quadro_p6000())
+            .fault_plan(std::sync::Arc::new(
+                FaultPlan::new(FaultConfig::uniform(0.25, 13)).expect("valid"),
+            ))
+            .build()
+            .expect("valid");
+        let report = simulate_dynamic(
+            &[chaotic],
+            base,
+            &updates,
+            &trace,
+            &cfg,
+            &mut SpmmExecutor::new(16),
+        )
+        .expect("runs");
+        assert_eq!(
+            report.serving.completed as u64
+                + report.serving.shed
+                + report.serving.failed as u64
+                + report.serving.deadline_missed as u64,
+            40,
+            "conservation"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = renumbered_base(4);
+        let updates = updates_for(&base, 8, 1);
+        let trace = arrivals(4, 1.0, 1);
+        let mut exec = SpmmExecutor::new(16);
+        let run = |engines: &[Engine], cfg: &DynamicConfig, updates: &[UpdateEvent]| {
+            simulate_dynamic(
+                engines,
+                base.clone(),
+                updates,
+                &trace,
+                cfg,
+                &mut SpmmExecutor::new(16),
+            )
+        };
+        assert!(matches!(
+            run(&[], &config(None), &updates),
+            Err(CoreError::Serving { .. })
+        ));
+        let mut bad = config(Some(RenumberPolicy {
+            window: 0,
+            ..Default::default()
+        }));
+        assert!(run(&[engine(1)], &bad, &updates).is_err());
+        bad = config(Some(RenumberPolicy {
+            watermark: 1.5,
+            ..Default::default()
+        }));
+        assert!(run(&[engine(1)], &bad, &updates).is_err());
+        // Unsorted updates are rejected.
+        let mut shuffled = updates.clone();
+        shuffled.reverse();
+        assert!(run(&[engine(1)], &config(None), &shuffled).is_err());
+        // Asymmetric base graphs are rejected.
+        let asym = Csr::from_raw(2, vec![0, 1, 1], vec![1]).expect("valid csr");
+        assert!(
+            simulate_dynamic(&[engine(1)], asym, &[], &trace, &config(None), &mut exec).is_err()
+        );
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod cluster;
 pub mod compute;
+pub mod dynamic;
 pub mod frameworks;
 pub mod input;
 pub mod kernels;

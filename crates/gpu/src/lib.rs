@@ -41,7 +41,7 @@ pub use engine::{
 };
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
-pub use metrics::{KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
+pub use metrics::{HitRateWindow, KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
 pub use spec::GpuSpec;
 pub use stream::{Enqueued, EventId, OpSpan, StreamId, StreamReport, StreamSim};
 pub use trace::{ArgValue, SpanKind, TraceEvent, TraceRecorder};

@@ -249,6 +249,81 @@ impl RunMetrics {
     }
 }
 
+/// A sliding window over per-kernel L2 hit/miss counts: the locality
+/// signal the dynamic-graph re-renumbering policy watches
+/// (`core::dynamic`). Samples are whole `(hits, misses)` pairs, so the
+/// windowed rate is hit-count-weighted exactly like
+/// [`RunMetrics::cache_hit_rate`] rather than an average of ratios —
+/// a tiny kernel cannot swing the window.
+#[derive(Debug, Clone)]
+pub struct HitRateWindow {
+    capacity: usize,
+    samples: std::collections::VecDeque<(u64, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl HitRateWindow {
+    /// A window holding the last `capacity` samples; `capacity` must be
+    /// at least 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window capacity must be at least 1");
+        Self {
+            capacity,
+            samples: std::collections::VecDeque::with_capacity(capacity + 1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pushes one sample, evicting the oldest once full.
+    pub fn push(&mut self, hits: u64, misses: u64) {
+        self.samples.push_back((hits, misses));
+        self.hits += hits;
+        self.misses += misses;
+        if self.samples.len() > self.capacity {
+            let (h, m) = self.samples.pop_front().expect("non-empty after push");
+            self.hits -= h;
+            self.misses -= m;
+        }
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been pushed (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window holds `capacity` samples — policies gate on
+    /// this so a half-warm window never triggers anything.
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Hit-count-weighted rate over the window, or `None` while the
+    /// window holds no cache traffic at all.
+    pub fn rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Drops every sample (a policy resets the window after acting on
+    /// it, so stale pre-action samples cannot re-trigger).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +430,38 @@ mod tests {
         run.push_kernel(k1);
         run.push_kernel(k2);
         assert!((run.mean_sm_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_window_slides_and_weights_by_counts() {
+        let mut w = HitRateWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.rate(), None, "no traffic, no rate");
+        w.push(3, 1);
+        assert!(!w.is_full());
+        assert!((w.rate().expect("traffic") - 0.75).abs() < 1e-12);
+        w.push(0, 4);
+        assert!(w.is_full());
+        // Count-weighted: (3 hits) / (3 + 1 + 4) accesses.
+        assert!((w.rate().expect("traffic") - 3.0 / 8.0).abs() < 1e-12);
+        // Third push evicts the first sample.
+        w.push(4, 0);
+        assert_eq!(w.len(), 2);
+        assert!((w.rate().expect("traffic") - 4.0 / 8.0).abs() < 1e-12);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_window_ignores_trafficless_samples_in_the_rate() {
+        // Zero-access samples (e.g. a batch of pure transfers) occupy a
+        // slot but contribute nothing to the rate.
+        let mut w = HitRateWindow::new(3);
+        w.push(0, 0);
+        assert!(!w.is_empty());
+        assert_eq!(w.rate(), None);
+        w.push(5, 5);
+        assert!((w.rate().expect("traffic") - 0.5).abs() < 1e-12);
     }
 }

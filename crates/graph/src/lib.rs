@@ -16,6 +16,9 @@
 //!   community-aware node-renumbering pipeline (Section 6.1).
 //! - [`stats`]: degree and locality statistics used by the input extractor
 //!   (Section 4.1) and by the analytical model's `alpha` parameter.
+//! - [`dynamic`]: seeded edge/node update streams and [`DeltaCsr`], an
+//!   incrementally maintained CSR with copy-on-write snapshots for serving
+//!   queries while the graph mutates.
 //!
 //! All generators and algorithms are deterministic: given the same seed and
 //! input they produce byte-identical output, which the simulator upstream
@@ -25,6 +28,7 @@ pub mod builder;
 pub mod community;
 pub mod coo;
 pub mod csr;
+pub mod dynamic;
 pub mod generators;
 pub mod io;
 pub mod reorder;
@@ -33,6 +37,9 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use coo::EdgeList;
 pub use csr::{Csr, NodeId};
+pub use dynamic::{
+    generate_updates, DeltaCsr, GraphSnapshot, UpdateEvent, UpdateKind, UpdateStreamConfig,
+};
 pub use reorder::permutation::Permutation;
 
 /// Errors produced while constructing or transforming graphs.

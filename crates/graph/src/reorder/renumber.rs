@@ -167,4 +167,84 @@ mod tests {
         let b = renumber(&g, &RenumberConfig::default()).expect("valid");
         assert_eq!(a.permutation, b.permutation);
     }
+
+    /// Regression (ISSUE 8): isolated (zero-degree) nodes must appear in
+    /// the permutation exactly once — Louvain leaves them as singleton
+    /// communities and RCM must emit them — so renumber + inverse
+    /// round-trips every node, including on graphs where isolated nodes
+    /// are interleaved with real communities.
+    #[test]
+    fn isolated_nodes_keep_the_permutation_total() {
+        use crate::GraphBuilder;
+        // Nodes 6..10 never touch an edge; node 3 sits between two
+        // communities; both RCM paths are exercised.
+        for skip_rcm in [false, true] {
+            let g = GraphBuilder::new(10)
+                .clique(&[0, 1, 2])
+                .path(&[3, 4, 5])
+                .build()
+                .expect("valid");
+            let cfg = RenumberConfig {
+                skip_rcm,
+                ..Default::default()
+            };
+            let r = renumber(&g, &cfg).expect("isolated nodes must renumber");
+            assert_eq!(r.permutation.len(), 10, "permutation must be total");
+            assert_eq!(r.community_of.len(), 10);
+            let inv = r.permutation.inverse();
+            for v in 0..10 as NodeId {
+                assert_eq!(
+                    inv.new_of(r.permutation.new_of(v)),
+                    v,
+                    "node {v} must round-trip (skip_rcm={skip_rcm})"
+                );
+            }
+            let p = g.permute(&r.permutation).expect("valid");
+            assert_eq!(p.num_edges(), g.num_edges());
+            assert!(p.is_symmetric());
+        }
+    }
+
+    /// Degenerate inputs stay total and finite: a fully edgeless graph
+    /// (every node isolated) and the empty graph.
+    #[test]
+    fn edgeless_and_empty_graphs_renumber() {
+        for n in [0usize, 1, 7] {
+            let g = Csr::empty(n);
+            let r = renumber(&g, &RenumberConfig::default()).expect("edgeless renumbers");
+            assert_eq!(r.permutation.len(), n);
+            assert!(r.modularity.is_finite(), "modularity must not be NaN");
+            let inv = r.permutation.inverse();
+            for v in 0..n as NodeId {
+                assert_eq!(inv.new_of(r.permutation.new_of(v)), v);
+            }
+        }
+    }
+
+    /// Isolated nodes appended to a latent community graph (the shape a
+    /// dynamic node-arrival stream produces) round-trip through the full
+    /// multi-level Louvain pipeline.
+    #[test]
+    fn arrived_isolated_nodes_round_trip_through_the_full_pipeline() {
+        use crate::GraphBuilder;
+        let g = latent_community_graph(6);
+        let n = g.num_nodes();
+        let mut b = GraphBuilder::new(n + 32);
+        for (v, u) in g.edges() {
+            if v < u {
+                b = b.undirected_edge(v, u);
+            }
+        }
+        let g2 = b.build().expect("valid");
+        let r = renumber(&g2, &RenumberConfig::default()).expect("valid");
+        assert_eq!(r.permutation.len(), n + 32);
+        let inv = r.permutation.inverse();
+        for v in 0..(n + 32) as NodeId {
+            assert_eq!(inv.new_of(r.permutation.new_of(v)), v);
+        }
+        assert_eq!(
+            g2.permute(&r.permutation).expect("valid").num_edges(),
+            g2.num_edges()
+        );
+    }
 }

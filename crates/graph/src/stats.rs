@@ -94,7 +94,7 @@ impl PartitionStats {
                 max_size: 0,
             };
         }
-        let max_id = *assignment.iter().max().expect("non-empty") as usize;
+        let max_id = assignment.iter().max().copied().unwrap_or(0) as usize;
         let mut sizes = vec![0usize; max_id + 1];
         for &c in assignment {
             sizes[c as usize] += 1;
@@ -140,6 +140,10 @@ pub fn degree_histogram_log2(graph: &Csr) -> Vec<usize> {
 /// Fraction of a node's edges whose endpoint lies within `window` ids of the
 /// node, averaged over edges. A cheap proxy for the spatial locality the
 /// renumbering pass (Section 6.1) tries to maximize.
+///
+/// An edgeless graph (including the empty and single-node graphs) scores
+/// `1.0` by convention — nothing is non-local — instead of dividing by a
+/// zero edge count.
 pub fn locality_score(graph: &Csr, window: usize) -> f64 {
     let e = graph.num_edges();
     if e == 0 {
@@ -183,11 +187,74 @@ mod tests {
         assert_eq!(s.stddev, 0.0);
     }
 
+    /// Regression pins (ISSUE 8): degree/locality summaries of the empty
+    /// and single-node graphs are exact zeros/ones — finite, deterministic,
+    /// and never the product of a 0/0 division.
     #[test]
     fn empty_graph_stats() {
         let s = DegreeStats::of(&crate::Csr::empty(0));
-        assert_eq!(s.mean, 0.0);
-        assert_eq!(s.stddev, 0.0);
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                stddev: 0.0
+            }
+        );
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn single_node_graph_stats_are_exact_zeros() {
+        let g = crate::Csr::empty(1);
+        let s = DegreeStats::of(&g);
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                stddev: 0.0
+            }
+        );
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        assert_eq!(
+            degree_histogram_log2(&g),
+            vec![1],
+            "one degree-0 node in bucket 0"
+        );
+    }
+
+    #[test]
+    fn locality_score_of_edgeless_graphs_is_one() {
+        for n in [0usize, 1, 5] {
+            let g = crate::Csr::empty(n);
+            for window in [0usize, 1, 1024] {
+                let l = locality_score(&g, window);
+                assert_eq!(l, 1.0, "edgeless n={n} window={window}");
+            }
+        }
+        assert!(degree_histogram_log2(&crate::Csr::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn partition_stats_of_empty_and_singleton_assignments() {
+        let empty = PartitionStats::of(&[]);
+        assert_eq!(
+            empty,
+            PartitionStats {
+                count: 0,
+                mean_size: 0.0,
+                stddev_size: 0.0,
+                max_size: 0
+            }
+        );
+        let one = PartitionStats::of(&[0]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.mean_size, 1.0);
+        assert_eq!(one.stddev_size, 0.0);
+        assert_eq!(one.max_size, 1);
     }
 
     #[test]

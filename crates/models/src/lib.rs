@@ -20,6 +20,7 @@
 //! [`Framework`]: gnnadvisor_core::Framework
 
 pub mod batch;
+pub mod dynamic;
 pub mod exec;
 pub mod gat;
 pub mod gcn;
@@ -28,6 +29,7 @@ pub mod sage;
 pub mod serve;
 pub mod train;
 
+pub use dynamic::DynamicGcnExecutor;
 pub use exec::{ForwardResult, ModelExec};
 pub use gat::Gat;
 pub use gcn::Gcn;

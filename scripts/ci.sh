@@ -119,6 +119,37 @@ cmp "$trace_dir/k_a.txt" "$trace_dir/k_t1.txt" || {
   exit 1
 }
 
+echo "==> serve-dynamic smoke: report stable across runs and worker counts"
+dynamic() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    serve-dynamic --requests 32 --rate 4000 --streams 2 --scale 0.02 \
+    --updates 600 --update-gap-ms 0.01 > "$1"
+}
+dynamic "$trace_dir/d_a.txt"
+dynamic "$trace_dir/d_b.txt"
+GNNADVISOR_SIM_THREADS=1 dynamic "$trace_dir/d_t1.txt"
+GNNADVISOR_SIM_THREADS=4 dynamic "$trace_dir/d_t4.txt"
+grep -q "dynamic-graph report" "$trace_dir/d_a.txt" || {
+  echo "FAIL: serve-dynamic report missing the dynamic-graph section" >&2
+  exit 1
+}
+grep -q "updates applied" "$trace_dir/d_a.txt" || {
+  echo "FAIL: serve-dynamic report missing the update counters" >&2
+  exit 1
+}
+cmp "$trace_dir/d_a.txt" "$trace_dir/d_b.txt" || {
+  echo "FAIL: serve-dynamic report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/d_t1.txt" "$trace_dir/d_t4.txt" || {
+  echo "FAIL: serve-dynamic report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/d_a.txt" "$trace_dir/d_t1.txt" || {
+  echo "FAIL: serve-dynamic report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+
 echo "==> tune smoke: two-tier report stable across runs and worker counts"
 tune2() {
   cargo run --offline -q --release --bin gnnadvisor -- \

@@ -11,6 +11,9 @@ use gnnadvisor_core::cluster::{
     assign_tenants, simulate_cluster, validate_tenants, AutoscalerConfig, ClusterConfig,
     RouterPolicy, TenantSpec,
 };
+use gnnadvisor_core::dynamic::{
+    generate_updates, simulate_dynamic, DynamicConfig, RenumberPolicy, UpdateStreamConfig,
+};
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
@@ -24,11 +27,15 @@ use gnnadvisor_core::tuning::params::RuntimeParams;
 use gnnadvisor_core::tuning::{aggregation_metrics, tune_two_tier, TwoTierConfig};
 use gnnadvisor_datasets::{table1_by_name, Dataset};
 use gnnadvisor_gpu::{Engine, FaultConfig, FaultPlan, GpuSpec, TraceRecorder};
-use gnnadvisor_graph::generators::{batched_graph, BatchedParams};
+use gnnadvisor_graph::generators::{
+    batched_graph, community_graph, BatchedParams, CommunityParams,
+};
 use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::stats::DegreeStats;
-use gnnadvisor_models::{Gat, Gcn, GcnBatchExecutor, Gin, GraphSage, ModelExec};
+use gnnadvisor_models::{
+    DynamicGcnExecutor, Gat, Gcn, GcnBatchExecutor, Gin, GraphSage, ModelExec,
+};
 use gnnadvisor_tensor::init::random_features;
 
 /// Parsed command-line options.
@@ -96,6 +103,30 @@ pub struct CliOptions {
     pub dwell_ms: f64,
     /// serve-cluster: kill one replica mid-run, `REPLICA:MS`.
     pub reset_replica: Option<String>,
+    /// serve-dynamic: update-stream length.
+    pub updates: usize,
+    /// serve-dynamic: mean gap between updates, ms of simulated time.
+    pub update_gap_ms: f64,
+    /// serve-dynamic: fraction of updates that delete a live edge.
+    pub delete_frac: f64,
+    /// serve-dynamic: fraction of updates that are node arrivals.
+    pub node_frac: f64,
+    /// serve-dynamic: edges each arriving node wires into its community.
+    pub attach_degree: usize,
+    /// serve-dynamic: re-renumbering policy — on | off.
+    pub renumber: String,
+    /// serve-dynamic: rebuild when the windowed hit-rate sinks below this
+    /// fraction of the post-rebuild baseline.
+    pub hit_watermark: f64,
+    /// serve-dynamic: sliding hit-rate window length, batches.
+    pub policy_window: usize,
+    /// serve-dynamic: minimum batches between rebuilds.
+    pub cooldown: usize,
+    /// serve-dynamic: simulated rebuild stall, microseconds per live edge.
+    pub rebuild_cost_us: f64,
+    /// serve-dynamic: fold the delta overlay into the base CSR after this
+    /// many applied updates (0 = only at rebuilds).
+    pub compact_every: usize,
     /// tune: tier selection — analytic | two-tier | full.
     pub tier: String,
     /// tune: finalists verified on the engine in two-tier mode.
@@ -139,6 +170,17 @@ impl Default for CliOptions {
             burst: 4.0,
             dwell_ms: 5.0,
             reset_replica: None,
+            updates: 4_000,
+            update_gap_ms: 0.004,
+            delete_frac: 0.15,
+            node_frac: 0.25,
+            attach_degree: 6,
+            renumber: "on".into(),
+            hit_watermark: 0.98,
+            policy_window: 8,
+            cooldown: 16,
+            rebuild_cost_us: 0.0005,
+            compact_every: 64,
             tier: "two-tier".into(),
             top_k: 4,
             speed_check: None,
@@ -275,6 +317,57 @@ impl CliOptions {
                         .map_err(|_| "--dwell-ms needs a number".to_string())?
                 }
                 "--reset-replica" => opts.reset_replica = Some(need()?),
+                "--updates" => {
+                    opts.updates = need()?
+                        .parse()
+                        .map_err(|_| "--updates needs an integer".to_string())?
+                }
+                "--update-gap-ms" => {
+                    opts.update_gap_ms = need()?
+                        .parse()
+                        .map_err(|_| "--update-gap-ms needs a number".to_string())?
+                }
+                "--delete-frac" => {
+                    opts.delete_frac = need()?
+                        .parse()
+                        .map_err(|_| "--delete-frac needs a number in [0, 1]".to_string())?
+                }
+                "--node-frac" => {
+                    opts.node_frac = need()?
+                        .parse()
+                        .map_err(|_| "--node-frac needs a number in [0, 1]".to_string())?
+                }
+                "--attach-degree" => {
+                    opts.attach_degree = need()?
+                        .parse()
+                        .map_err(|_| "--attach-degree needs an integer".to_string())?
+                }
+                "--renumber" => opts.renumber = need()?.to_lowercase(),
+                "--hit-watermark" => {
+                    opts.hit_watermark = need()?
+                        .parse()
+                        .map_err(|_| "--hit-watermark needs a number in (0, 1]".to_string())?
+                }
+                "--policy-window" => {
+                    opts.policy_window = need()?
+                        .parse()
+                        .map_err(|_| "--policy-window needs an integer".to_string())?
+                }
+                "--cooldown" => {
+                    opts.cooldown = need()?
+                        .parse()
+                        .map_err(|_| "--cooldown needs an integer".to_string())?
+                }
+                "--rebuild-cost-us" => {
+                    opts.rebuild_cost_us = need()?
+                        .parse()
+                        .map_err(|_| "--rebuild-cost-us needs a number".to_string())?
+                }
+                "--compact-every" => {
+                    opts.compact_every = need()?
+                        .parse()
+                        .map_err(|_| "--compact-every needs an integer".to_string())?
+                }
                 "--tier" => opts.tier = need()?.to_lowercase(),
                 "--top-k" => {
                     opts.top_k = need()?
@@ -389,6 +482,50 @@ impl CliOptions {
         }
         if let Some(r) = &opts.reset_replica {
             parse_reset(r)?;
+        }
+        if !(opts.update_gap_ms.is_finite() && opts.update_gap_ms > 0.0) {
+            return Err(format!(
+                "--update-gap-ms must be positive, got {}",
+                opts.update_gap_ms
+            ));
+        }
+        for (name, v) in [
+            ("--delete-frac", opts.delete_frac),
+            ("--node-frac", opts.node_frac),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("{name} must be a number in [0, 1], got {v}"));
+            }
+        }
+        if opts.delete_frac + opts.node_frac > 1.0 {
+            return Err(format!(
+                "--delete-frac {} + --node-frac {} must not exceed 1",
+                opts.delete_frac, opts.node_frac
+            ));
+        }
+        if !matches!(opts.renumber.as_str(), "on" | "off") {
+            return Err(format!(
+                "--renumber must be on or off, got {}",
+                opts.renumber
+            ));
+        }
+        if !(opts.hit_watermark.is_finite()
+            && opts.hit_watermark > 0.0
+            && opts.hit_watermark <= 1.0)
+        {
+            return Err(format!(
+                "--hit-watermark must be a number in (0, 1], got {}",
+                opts.hit_watermark
+            ));
+        }
+        if opts.policy_window == 0 {
+            return Err("--policy-window must be at least 1".to_string());
+        }
+        if !(opts.rebuild_cost_us.is_finite() && opts.rebuild_cost_us >= 0.0) {
+            return Err(format!(
+                "--rebuild-cost-us must be non-negative, got {}",
+                opts.rebuild_cost_us
+            ));
         }
         if !matches!(opts.tier.as_str(), "analytic" | "two-tier" | "full") {
             return Err(format!(
@@ -1125,6 +1262,148 @@ pub fn serve_cluster(opts: &CliOptions) -> CliResult {
     ))
 }
 
+/// `serve-dynamic`: the serving pipeline over a *mutating* graph. A
+/// seeded update stream (edge churn + community-attached node arrivals)
+/// interleaves with request arrivals on the simulated clock; each batch
+/// executes against a consistent copy-on-write snapshot of the live
+/// delta CSR, and the re-renumbering policy (`--renumber on`) rebuilds
+/// the layout when the measured kernel L2 hit-rate sinks below the
+/// watermark. Everything downstream of the seeds replays bit-for-bit,
+/// so the report is byte-identical across runs and
+/// `GNNADVISOR_SIM_THREADS`.
+pub fn serve_dynamic(opts: &CliOptions) -> CliResult {
+    // A community-structured graph, freshly renumbered: the starting
+    // layout is what the Section 6.1 pass produces offline, and the run
+    // measures how long it stays good under churn.
+    let nodes = ((40_000.0 * opts.scale) as usize).clamp(400, 40_000);
+    let (shuffled, _) = community_graph(
+        &CommunityParams {
+            num_nodes: nodes,
+            num_edges: nodes * 12,
+            mean_community: 40,
+            community_size_cv: 0.3,
+            inter_fraction: 0.08,
+            shuffle_ids: true,
+        },
+        31,
+    )
+    .map_err(|e| e.to_string())?;
+    let r = renumber(&shuffled, &RenumberConfig::default()).map_err(|e| e.to_string())?;
+    let base = shuffled
+        .permute(&r.permutation)
+        .map_err(|e| e.to_string())?;
+
+    let updates = generate_updates(
+        &base,
+        &UpdateStreamConfig {
+            num_updates: opts.updates,
+            mean_interarrival_ms: opts.update_gap_ms,
+            delete_fraction: opts.delete_frac,
+            node_fraction: opts.node_frac,
+            attach_degree: opts.attach_degree,
+            seed: opts.seed.wrapping_add(1),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let arrivals = generate_arrivals(&ArrivalConfig {
+        num_requests: opts.requests,
+        mean_interarrival_ms: 1000.0 / opts.rate,
+        num_components: 1,
+        seed: opts.seed,
+    })
+    .map_err(|e| e.to_string())?;
+
+    let policy = (opts.renumber == "on").then_some(RenumberPolicy {
+        window: opts.policy_window,
+        watermark: opts.hit_watermark,
+        cooldown_batches: opts.cooldown,
+        rebuild_cost_us_per_edge: opts.rebuild_cost_us,
+    });
+    let cfg = DynamicConfig {
+        serving: ServingConfig {
+            streams: opts.streams,
+            queue: QueuePolicy {
+                capacity: opts.queue_cap,
+            },
+            batch: BatchPolicy {
+                max_batch: opts.batch_size,
+                max_delay_ms: opts.max_delay_ms,
+            },
+            retry: RetryPolicy {
+                max_attempts: opts.retries + 1,
+                seed: opts.seed,
+                ..RetryPolicy::default()
+            },
+            deadline_ms: opts.deadline_ms,
+        },
+        policy,
+        compact_every: opts.compact_every,
+    };
+
+    let mut engines = Vec::with_capacity(opts.replicas);
+    for replica in 0..opts.replicas {
+        let mut builder = Engine::builder(opts.spec()?);
+        if opts.fault_rate > 0.0 {
+            let plan = FaultPlan::new(FaultConfig::uniform(
+                opts.fault_rate,
+                opts.seed.wrapping_add(replica as u64),
+            ))
+            .map_err(|e| e.to_string())?;
+            builder = builder.fault_plan(Arc::new(plan));
+        }
+        engines.push(builder.build().map_err(|e| e.to_string())?);
+    }
+
+    // Hidden dim 32 keeps the advisor aggregation in the SM-time-limited
+    // regime where layout locality is what the clock measures.
+    let mut exec = DynamicGcnExecutor::new(
+        opts.feat_dim,
+        32,
+        opts.num_classes,
+        RuntimeParams::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let report = simulate_dynamic(&engines, base, &updates, &arrivals, &cfg, &mut exec)
+        .map_err(|e| e.to_string())?;
+
+    let policy_str = match &cfg.policy {
+        Some(p) => format!(
+            "on (window {}, watermark {}, cooldown {}, rebuild {} us/edge)",
+            p.window, p.watermark, p.cooldown_batches, p.rebuild_cost_us_per_edge
+        ),
+        None => "off".to_string(),
+    };
+    let deadline = opts
+        .deadline_ms
+        .map_or("none".to_string(), |d| format!("{d} ms"));
+    Ok(format!(
+        "serve-dynamic: {} requests at {} req/s over a {}-node community graph ({})\n\
+         churn: {} updates at {} ms mean gap (delete {}, node-arrival {}, attach {})\n\
+         re-renumbering: {}\n\
+         batching: max {} per batch, {} ms max delay, queue capacity {}, {} replicas x {} streams\n\
+         reliability: fault rate {}, {} retries, deadline {}\n\n{}",
+        opts.requests,
+        opts.rate,
+        nodes,
+        engines[0].spec().name,
+        opts.updates,
+        opts.update_gap_ms,
+        opts.delete_frac,
+        opts.node_frac,
+        opts.attach_degree,
+        policy_str,
+        opts.batch_size,
+        opts.max_delay_ms,
+        opts.queue_cap,
+        opts.replicas,
+        opts.streams,
+        opts.fault_rate,
+        opts.retries,
+        deadline,
+        report.render(),
+    ))
+}
+
 fn model_order(model: &str) -> Result<gnnadvisor_core::input::AggOrder, String> {
     match model {
         "gcn" | "sage" => Ok(gnnadvisor_core::input::AggOrder::UpdateThenAggregate),
@@ -1164,6 +1443,8 @@ COMMANDS:
     tune       the Section 7 Modeling & Estimating pipeline (two-tier)
     serve-sim  multi-stream serving runtime with dynamic batching
     serve-cluster  replicated serving: router, tenants, autoscaler
+    serve-dynamic  serving under live graph updates: incremental CSR,
+                   locality-triggered re-renumbering
 
 OPTIONS:
     --dataset NAME       a Table 1 dataset (e.g. Cora, artist, DD)
@@ -1213,6 +1494,20 @@ SERVE-CLUSTER OPTIONS (plus all serve-sim options):
     --dwell-ms D         mmpp: mean phase dwell (default 5)
     --reset-replica R:MS kill replica R with a device reset at MS — the
                          fleet retries its batches elsewhere
+
+SERVE-DYNAMIC OPTIONS (plus the serve-sim options and --replicas):
+    --updates N          update-stream length (default 4000)
+    --update-gap-ms G    mean gap between updates, simulated ms (default 0.004)
+    --delete-frac F      fraction of updates deleting a live edge (default 0.15)
+    --node-frac F        fraction of updates that are node arrivals (default 0.25)
+    --attach-degree K    edges each arrival wires into its community (default 6)
+    --renumber on|off    locality-triggered re-renumbering (default on)
+    --hit-watermark W    rebuild when windowed hit-rate < W x baseline (default 0.98)
+    --policy-window B    sliding hit-rate window, batches (default 8)
+    --cooldown B         minimum batches between rebuilds (default 16)
+    --rebuild-cost-us C  simulated rebuild stall, us per live edge (default 0.0005)
+    --compact-every N    fold the delta overlay after N applied updates
+                         (default 64; 0 = only at rebuilds)
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -1227,6 +1522,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "tune" => tune(&opts),
         "serve-sim" => serve_sim(&opts),
         "serve-cluster" => serve_cluster(&opts),
+        "serve-dynamic" => serve_dynamic(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -1605,6 +1901,77 @@ mod tests {
                 .contains("--reset-replica"));
         }
         assert!(CliOptions::parse(&args("--reset-replica 0:0.5")).is_ok());
+    }
+
+    #[test]
+    fn serve_dynamic_report_is_deterministic() {
+        let cmd = "serve-dynamic --requests 32 --rate 4000 --batch-size 4 --streams 2 \
+                   --scale 0.02 --updates 600 --update-gap-ms 0.01";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "serve-dynamic must be byte-identical run-to-run");
+        for needle in [
+            "dynamic-graph report",
+            "updates applied",
+            "final version",
+            "hit-rate head",
+            "hit-rate tail",
+            "re-renumber events",
+            "goodput",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn serve_dynamic_policy_off_never_renumbers() {
+        let out = dispatch(&args(
+            "serve-dynamic --requests 24 --rate 4000 --batch-size 4 --streams 2 \
+             --scale 0.02 --updates 400 --update-gap-ms 0.01 --renumber off",
+        ))
+        .expect("runs");
+        assert!(out.contains("re-renumbering: off"), "{out}");
+        assert!(out.contains("re-renumber events   0"), "{out}");
+    }
+
+    #[test]
+    fn serve_dynamic_options_validated_at_parse() {
+        assert!(CliOptions::parse(&args("--update-gap-ms 0"))
+            .expect_err("zero gap")
+            .contains("--update-gap-ms"));
+        for bad in ["-0.1", "1.5", "nan"] {
+            assert!(CliOptions::parse(&args(&format!("--delete-frac {bad}")))
+                .expect_err(bad)
+                .contains("--delete-frac"));
+            assert!(CliOptions::parse(&args(&format!("--node-frac {bad}")))
+                .expect_err(bad)
+                .contains("--node-frac"));
+        }
+        assert!(
+            CliOptions::parse(&args("--delete-frac 0.6 --node-frac 0.6"))
+                .expect_err("fractions over 1")
+                .contains("must not exceed 1")
+        );
+        assert!(CliOptions::parse(&args("--renumber maybe"))
+            .expect_err("bad mode")
+            .contains("--renumber"));
+        for bad in ["0", "1.5", "nan"] {
+            assert!(CliOptions::parse(&args(&format!("--hit-watermark {bad}")))
+                .expect_err(bad)
+                .contains("--hit-watermark"));
+        }
+        assert!(CliOptions::parse(&args("--policy-window 0"))
+            .expect_err("zero window")
+            .contains("--policy-window"));
+        assert!(CliOptions::parse(&args("--rebuild-cost-us -1"))
+            .expect_err("negative cost")
+            .contains("--rebuild-cost-us"));
+        assert!(CliOptions::parse(&args(
+            "--updates 100 --update-gap-ms 0.01 --delete-frac 0.2 --node-frac 0.3 \
+             --attach-degree 4 --renumber off --hit-watermark 0.9 --policy-window 4 \
+             --cooldown 8 --rebuild-cost-us 0.001 --compact-every 0"
+        ))
+        .is_ok());
     }
 
     #[test]
