@@ -43,8 +43,8 @@ use gnnadvisor_core::tuning::{
 use gnnadvisor_core::RuntimeParams;
 use gnnadvisor_gpu::kernel::WARP_SIZE;
 use gnnadvisor_gpu::{
-    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, RunContext, Workload,
-    WorkloadMetrics,
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, KernelMetrics, OpClass, RunContext,
+    StreamSim, Workload, WorkloadMetrics,
 };
 use gnnadvisor_graph::generators::{
     barabasi_albert, batched_graph, community_graph, BatchedParams, CommunityParams,
@@ -408,6 +408,100 @@ fn bench_cluster(spec: &GpuSpec) -> ClusterBench {
     }
 }
 
+/// One kernel of the co-residency scenario's committed schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OccupancyKernelRow {
+    /// The stream the kernel ran on.
+    stream: usize,
+    /// First block admission, simulated ms.
+    start_ms: f64,
+    /// Last block retirement + launch teardown, simulated ms.
+    end_ms: f64,
+    /// Time-averaged resident warps over the device's warp slots across
+    /// the kernel's execution window — the share of the device this
+    /// kernel actually held while sharing SMs with its neighbor.
+    achieved_occupancy: f64,
+}
+
+/// Kernel co-residency: two half-device kernels on independent streams
+/// share every SM under the block-level admission path, where the old
+/// whole-kernel arbitration (one residency check per launch) serialized
+/// them (simulated time, host-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OccupancyBench {
+    /// The two launches, for reproducibility.
+    scenario: String,
+    /// What whole-kernel arbitration produced: the kernels back to back
+    /// (the sum of their standalone elapsed times), simulated ms.
+    coarse_serialized_ms: f64,
+    /// Makespan of the block-level schedule, simulated ms.
+    coresident_makespan_ms: f64,
+    /// coarse_serialized / coresident — the co-residency win; must
+    /// exceed 1.0.
+    speedup: f64,
+    /// Most distinct kernels simultaneously resident on one SM; `>= 2`
+    /// is proof blocks of both kernels shared an SM.
+    max_coresident_kernels_per_sm: u32,
+    /// Peak device-wide resident warps (never above the device's warp
+    /// slots — the admission invariant, observed).
+    peak_resident_warps: u64,
+    /// Per-kernel placement and achieved occupancy.
+    kernels: Vec<OccupancyKernelRow>,
+    /// Whether the schedule is byte-identical at 1 and 4 simulation
+    /// worker threads.
+    deterministic: bool,
+}
+
+/// Runs the two-kernel co-residency scenario: two 30-block GEMMs (one
+/// block per SM each, two per SM co-resident) released at the same
+/// instant on independent streams.
+fn bench_occupancy(spec: &GpuSpec) -> OccupancyBench {
+    let gemm = Workload::Gemm {
+        m: 30 * 64,
+        n: 64,
+        k: 256,
+    };
+    let run_at = |sim_threads: usize| {
+        let engine = Engine::builder(spec.clone())
+            .sim_threads(sim_threads)
+            .build()
+            .expect("valid engine configuration");
+        let mut sim = StreamSim::new(&engine);
+        let mut standalone_ms = 0.0;
+        for _ in 0..2 {
+            let s = sim.stream();
+            let (_, m) = sim.enqueue(s, gemm).expect("valid stream");
+            standalone_ms += m.time_ms();
+        }
+        (sim.run().expect("schedule commits"), standalone_ms)
+    };
+    let (report, coarse_serialized_ms) = run_at(1);
+    let deterministic = report == run_at(4).0;
+    let kernels: Vec<OccupancyKernelRow> = report
+        .spans
+        .iter()
+        .filter(|s| s.class == OpClass::Kernel)
+        .map(|s| OccupancyKernelRow {
+            stream: s.stream.index(),
+            start_ms: spec.cycles_to_ms(s.start_cycles),
+            end_ms: spec.cycles_to_ms(s.end_cycles),
+            achieved_occupancy: s.occupancy,
+        })
+        .collect();
+    OccupancyBench {
+        scenario: "2 streams x GEMM 1920x64x256 (30 blocks, 2-per-SM shape) \
+                   released at cycle 0, P6000 model (30 SMs)"
+            .into(),
+        coarse_serialized_ms,
+        coresident_makespan_ms: report.makespan_ms,
+        speedup: coarse_serialized_ms / report.makespan_ms.max(1e-12),
+        max_coresident_kernels_per_sm: report.max_coresident_kernels_per_sm,
+        peak_resident_warps: report.peak_resident_warps,
+        kernels,
+        deterministic,
+    }
+}
+
 /// One (subsampled) point of a dynamic run's hit-rate trajectory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct DynamicTrajectoryRow {
@@ -641,6 +735,9 @@ struct BenchSim {
     hot_loop: HotLoopBench,
     /// Two-tier vs full-simulation tuning.
     tuning: TuningBench,
+    /// Kernel co-residency under the block-level device core vs the old
+    /// whole-kernel arbitration (simulated time, host-independent).
+    occupancy: OccupancyBench,
     /// Cluster serving: goodput scaling across replica counts and
     /// per-tenant SLO attainment (simulated time, host-independent).
     cluster: ClusterBench,
@@ -896,6 +993,7 @@ fn main() {
 
     let hot_loop = bench_hot_loop(&check_engines[0]);
     let tuning = bench_tuning(&spec);
+    let occupancy = bench_occupancy(&spec);
     let cluster = bench_cluster(&spec);
     let dynamic = bench_dynamic(&spec);
 
@@ -926,6 +1024,7 @@ fn main() {
         deterministic,
         hot_loop,
         tuning,
+        occupancy,
         cluster,
         dynamic,
         note: format!(
@@ -946,6 +1045,29 @@ fn main() {
         result.tuning.winner_within_band,
         "two-tier winner must sit within the calibration band of the \
          full-sim winner"
+    );
+    assert!(
+        result.occupancy.speedup > 1.0,
+        "co-residency must beat whole-kernel serialization, got {:.3}x",
+        result.occupancy.speedup
+    );
+    assert!(
+        result.occupancy.max_coresident_kernels_per_sm >= 2,
+        "blocks of both kernels must share an SM, got {}",
+        result.occupancy.max_coresident_kernels_per_sm
+    );
+    assert_eq!(result.occupancy.kernels.len(), 2);
+    for k in &result.occupancy.kernels {
+        assert!(
+            k.achieved_occupancy > 0.0 && k.achieved_occupancy <= 1.0,
+            "stream {} occupancy {} out of range",
+            k.stream,
+            k.achieved_occupancy
+        );
+    }
+    assert!(
+        result.occupancy.deterministic,
+        "the co-residency schedule must be identical across worker counts"
     );
     assert!(
         result.cluster.goodput_speedup >= 1.5,
@@ -998,6 +1120,16 @@ fn main() {
         result.tuning.full_sim_unmemoized_wall_ms,
         result.tuning.tuner_speedup,
         result.tuning.calibration_error_band * 100.0,
+    );
+    println!(
+        "occupancy: 2 co-resident kernels finish in {:.4} ms vs {:.4} ms \
+         serialized ({:.2}x); {} kernels/SM peak, per-kernel occupancy {:.4}/{:.4}",
+        result.occupancy.coresident_makespan_ms,
+        result.occupancy.coarse_serialized_ms,
+        result.occupancy.speedup,
+        result.occupancy.max_coresident_kernels_per_sm,
+        result.occupancy.kernels[0].achieved_occupancy,
+        result.occupancy.kernels[1].achieved_occupancy,
     );
     println!(
         "cluster: best goodput speedup {:.2}x over one replica; online tenant \

@@ -115,6 +115,9 @@ pub struct ClusterReport {
     pub batches: usize,
     /// Batch submissions (including retries) each replica slot received.
     pub per_replica_batches: Vec<usize>,
+    /// Duration-weighted mean achieved kernel occupancy per replica slot,
+    /// in `[0, 1]` (`0` for a slot that ran no kernels).
+    pub per_replica_occupancy: Vec<f64>,
     /// Replica slots killed by a device reset during the run.
     pub dead_replicas: Vec<usize>,
     /// Autoscaler steps, in order.
@@ -148,6 +151,12 @@ impl ClusterReport {
             .map(|n| n.to_string())
             .collect();
         out.push_str(&format!("  replica submissions  {}\n", loads.join("/")));
+        let occ: Vec<String> = self
+            .per_replica_occupancy
+            .iter()
+            .map(|o| format!("{o:.4}"))
+            .collect();
+        out.push_str(&format!("  replica occupancy    {}\n", occ.join("/")));
         out.push_str(&format!("  batch retries        {}\n", self.retries));
         if self.dead_replicas.is_empty() {
             out.push_str("  dead replicas        none\n");
@@ -490,6 +499,7 @@ pub fn simulate_cluster(
         retries,
         batches: plan.batches.len(),
         per_replica_batches,
+        per_replica_occupancy: reports.iter().map(|r| r.mean_kernel_occupancy()).collect(),
         dead_replicas: (0..slots).filter(|&r| dead[r]).collect(),
         scale_events: scaler.map(Autoscaler::into_events).unwrap_or_default(),
         peak_active,

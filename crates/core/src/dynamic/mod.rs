@@ -728,6 +728,20 @@ pub fn simulate_dynamic(
         makespan_ms: reports.iter().map(|r| r.makespan_ms).fold(0.0, f64::max),
         kernel_busy_cycles: reports.iter().map(|r| r.kernel_busy_cycles).sum(),
         copy_busy_cycles: reports.iter().map(|r| r.copy_busy_cycles).sum(),
+        // Merge per-window means weighted by their kernel time (each
+        // window's mean is already duration-weighted over its spans).
+        mean_kernel_occupancy: {
+            let busy: u64 = reports.iter().map(|r| r.kernel_busy_cycles).sum();
+            if busy == 0 {
+                0.0
+            } else {
+                reports
+                    .iter()
+                    .map(|r| r.mean_kernel_occupancy() * r.kernel_busy_cycles as f64)
+                    .sum::<f64>()
+                    / busy as f64
+            }
+        },
     };
     Ok(DynamicReport {
         serving,

@@ -13,7 +13,7 @@
 //! partition, so the halo — and with it the exchange traffic — shrinks,
 //! extending the paper's locality argument across device boundaries.
 
-use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics};
+use gnnadvisor_gpu::{BlockResources, Engine, GpuSpec, KernelMetrics, DEFAULT_REGS_PER_THREAD};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::{Csr, NodeId};
 
@@ -159,8 +159,12 @@ pub fn run_multi_gpu_aggregation(
             continue;
         }
         let layout = organize_shared(&local, params.groups_per_block());
-        let fits =
-            params.use_shared && layout.shared_bytes(dim) <= config.spec.shared_mem_per_block;
+        let resources = BlockResources {
+            regs_per_thread: DEFAULT_REGS_PER_THREAD,
+            smem_bytes: layout.shared_bytes(dim),
+            threads: params.threads_per_block,
+        };
+        let fits = params.use_shared && config.spec.occupancy_limit(&resources).is_launchable();
         let kernel = AdvisorKernel::new(graph, &local, fits.then_some(&layout), dim, params);
         per_gpu.push(crate::submit::launch(&engine, &kernel)?);
     }

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics};
+use gnnadvisor_gpu::{BlockResources, Engine, GpuSpec, KernelMetrics, DEFAULT_REGS_PER_THREAD};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
 use gnnadvisor_graph::{Csr, Permutation};
 
@@ -219,12 +219,17 @@ impl Advisor {
     }
 
     fn resolve_launch(&self, dim: usize) -> ResolvedLaunch {
-        let capacity = self.engine.spec().shared_mem_per_block;
+        let spec = self.engine.spec();
         if self.params.use_shared {
             let mut params = self.params;
             loop {
                 let layout = organize_shared(&self.groups, params.groups_per_block());
-                if layout.shared_bytes(dim) <= capacity {
+                let resources = BlockResources {
+                    regs_per_thread: DEFAULT_REGS_PER_THREAD,
+                    smem_bytes: layout.shared_bytes(dim),
+                    threads: params.threads_per_block,
+                };
+                if spec.occupancy_limit(&resources).is_launchable() {
                     return ResolvedLaunch {
                         params,
                         layout: Some(layout),
@@ -492,7 +497,7 @@ mod tests {
             AdvisorConfig::default(),
         )
         .expect("builds");
-        let capacity = adv.engine().spec().shared_mem_per_block;
+        let spec = adv.engine().spec().clone();
         let mut narrowed_somewhere = false;
         for dim in [16usize, 64, 256, 512, 1024, 2048, 8192] {
             let resolved = adv.resolved_launch(dim);
@@ -500,8 +505,16 @@ mod tests {
                 Some(layout) => {
                     // The reported layout must be the one the launch
                     // really uses: built for the (possibly narrowed)
-                    // params and within the device's shared budget.
-                    assert!(layout.shared_bytes(dim) <= capacity, "dim {dim}");
+                    // params and admissible on the device.
+                    let resources = BlockResources {
+                        regs_per_thread: DEFAULT_REGS_PER_THREAD,
+                        smem_bytes: layout.shared_bytes(dim),
+                        threads: resolved.params.threads_per_block,
+                    };
+                    assert!(
+                        spec.occupancy_limit(&resources).is_launchable(),
+                        "dim {dim}"
+                    );
                     assert_eq!(
                         layout,
                         &organize_shared(adv.groups(), resolved.params.groups_per_block()),

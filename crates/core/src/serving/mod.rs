@@ -162,6 +162,10 @@ pub struct ServingReport {
     pub kernel_busy_cycles: u64,
     /// Total copy-engine busy cycles across the schedule.
     pub copy_busy_cycles: u64,
+    /// Duration-weighted mean achieved occupancy over the schedule's
+    /// kernel spans, in `[0, 1]` (see
+    /// [`gnnadvisor_gpu::StreamReport::mean_kernel_occupancy`]).
+    pub mean_kernel_occupancy: f64,
 }
 
 impl ServingReport {
@@ -203,6 +207,10 @@ impl ServingReport {
         out.push_str(&format!(
             "  copy engine cycles   {}\n",
             self.copy_busy_cycles
+        ));
+        out.push_str(&format!(
+            "  kernel occupancy     {:.4}\n",
+            self.mean_kernel_occupancy
         ));
         out
     }
@@ -375,6 +383,7 @@ pub fn simulate(
         makespan_ms: report.makespan_ms,
         kernel_busy_cycles: report.kernel_busy_cycles,
         copy_busy_cycles: report.copy_busy_cycles,
+        mean_kernel_occupancy: report.mean_kernel_occupancy(),
     })
 }
 

@@ -36,7 +36,7 @@
 //! only need the right *shape* in each knob for ranking to survive, which
 //! is the property the two-tier proptest pins down.
 
-use gnnadvisor_gpu::{GpuSpec, PhaseBreakdown};
+use gnnadvisor_gpu::{BlockResources, GpuSpec, PhaseBreakdown, DEFAULT_REGS_PER_THREAD};
 
 use crate::input::InputInfo;
 use crate::tuning::params::RuntimeParams;
@@ -96,7 +96,17 @@ pub fn raw_phases(params: &RuntimeParams, input: &InputInfo, spec: &GpuSpec) -> 
     // --- compute: per-block critical path times SM rounds -------------
     // Occupancy-limited latency hiding, as in the engine: resident blocks
     // per SM fall as tpb grows, and roughly half have runnable warps.
-    let resident = (spec.max_threads_per_sm as f64 / tpb).max(1.0);
+    // The residency comes from the same per-SM admission arithmetic the
+    // device core uses (static shared memory is unknown this early, so
+    // the estimate admits against warp/register/block slots only).
+    let resident = spec
+        .occupancy_limit(&BlockResources {
+            regs_per_thread: DEFAULT_REGS_PER_THREAD,
+            smem_bytes: 0,
+            threads: params.threads_per_block.max(32),
+        })
+        .get()
+        .max(1) as f64;
     let hiding = (spec.memory_parallelism as f64).min((resident / 2.0).max(1.0));
     // One warp hosts `32 / dw` dimension-teams, each walking its own
     // group — small `dw` serializes more groups through every warp

@@ -24,7 +24,7 @@
 //! deviation penalties with the degree-consistent `gs` target. The
 //! discrepancy is recorded in DESIGN.md.
 
-use gnnadvisor_gpu::GpuSpec;
+use gnnadvisor_gpu::{BlockResources, GpuSpec, DEFAULT_REGS_PER_THREAD};
 
 use crate::input::InputInfo;
 use crate::tuning::params::RuntimeParams;
@@ -107,7 +107,12 @@ pub fn respects_shared_capacity(params: &RuntimeParams, input: &InputInfo, spec:
         / (avg_degree * params.dim_workers as f64)
         * input.aggregation_dim() as f64
         * 4.0;
-    bytes > 0.0 && bytes <= spec.shared_mem_per_block as f64
+    let resources = BlockResources {
+        regs_per_thread: DEFAULT_REGS_PER_THREAD,
+        smem_bytes: bytes.ceil() as usize,
+        threads: params.threads_per_block,
+    };
+    bytes > 0.0 && spec.occupancy_limit(&resources).is_launchable()
 }
 
 /// Analytical Decider: picks the best valid parameter point on a coarse

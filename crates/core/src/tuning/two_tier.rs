@@ -21,7 +21,9 @@
 
 use std::collections::HashMap;
 
-use gnnadvisor_gpu::{Engine, GpuSpec, KernelMetrics, PhaseBreakdown};
+use gnnadvisor_gpu::{
+    BlockResources, Engine, GpuSpec, KernelMetrics, PhaseBreakdown, DEFAULT_REGS_PER_THREAD,
+};
 use gnnadvisor_graph::Csr;
 
 use crate::input::InputInfo;
@@ -266,10 +268,15 @@ pub fn aggregation_metrics(
     let mut narrowed = *params;
     let mut layout = None;
     if narrowed.use_shared {
-        let capacity = engine.spec().shared_mem_per_block;
+        let spec = engine.spec();
         loop {
             let candidate = organize_shared(&groups, narrowed.groups_per_block());
-            if candidate.shared_bytes(dim) <= capacity {
+            let resources = BlockResources {
+                regs_per_thread: DEFAULT_REGS_PER_THREAD,
+                smem_bytes: candidate.shared_bytes(dim),
+                threads: narrowed.threads_per_block,
+            };
+            if spec.occupancy_limit(&resources).is_launchable() {
                 layout = Some(candidate);
                 break;
             }

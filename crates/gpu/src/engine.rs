@@ -47,7 +47,9 @@
 //! [`WorkloadMetrics`]. This uniform surface is what
 //! [`crate::stream::StreamSim`] enqueues onto simulated streams. The
 //! pre-existing `run`/`run_in`/`run_gemm`/`run_transfer` entry points are
-//! deprecated shims over `submit`.
+//! deprecated one-line wrappers over `submit` (each doc states its exact
+//! `submit` equivalent), and the old `with_tracer`/`with_sim_threads`
+//! setters are gone — [`Engine::builder`] is the configuration surface.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,7 +58,7 @@ use crate::context::{plan_shards, RunContext, ShardSlot};
 use crate::fault::{FaultKind, FaultPlan, OpVerdict};
 use crate::kernel::{BlockSink, GridConfig, Kernel, WARP_SIZE};
 use crate::metrics::{KernelMetrics, PhaseBreakdown};
-use crate::spec::GpuSpec;
+use crate::spec::{BlockResources, GpuSpec};
 use crate::trace::{HotBlock, ShardTrace, TraceRecorder, HOTSPOTS_PER_KERNEL};
 use crate::transfer::{transfer, TransferMetrics};
 use crate::{GpuError, Result};
@@ -64,6 +66,18 @@ use crate::{GpuError, Result};
 /// Hard ceiling on configured simulation workers — far above any host's
 /// core count, so anything bigger is a typo, not a configuration.
 pub const MAX_SIM_THREADS: usize = 4096;
+
+/// Block shape of the roofline GEMM's tiles: a cuBLAS-style 64×64 output
+/// tile per 256-thread block, staging both operand panels in shared
+/// memory. Two such blocks co-reside per SM (the smem limit binds), so a
+/// device-filling GEMM still saturates the machine while small GEMMs
+/// leave room for a concurrent kernel's blocks — the co-residency the
+/// stream scheduler's admission path models.
+pub const GEMM_BLOCK_RESOURCES: BlockResources = BlockResources {
+    regs_per_thread: 32,
+    smem_bytes: 48 * 1024,
+    threads: 256,
+};
 
 /// Parses a `GNNADVISOR_SIM_THREADS` value: `0` (or an empty/whitespace
 /// string) means one worker per available core. Rejects anything that is
@@ -191,7 +205,7 @@ impl WorkloadMetrics {
 
 /// Validated construction of an [`Engine`]. Options accumulate on the
 /// builder and are checked once, at [`EngineBuilder::build`] — unlike the
-/// deprecated `with_*` setters, an invalid configuration is a typed error
+/// removed `with_*` setters, an invalid configuration is a typed error
 /// instead of a panic or silent fallback.
 ///
 /// # Examples
@@ -378,8 +392,8 @@ impl Engine {
     }
 
     /// Starts a validated [`EngineBuilder`] for the given device. This is
-    /// the supported way to configure tracing and worker counts; the
-    /// `with_*` setters are deprecated shims.
+    /// the only way to configure tracing and worker counts (the `with_*`
+    /// setters it replaced are gone).
     pub fn builder(spec: GpuSpec) -> EngineBuilder {
         EngineBuilder {
             spec,
@@ -387,15 +401,6 @@ impl Engine {
             tracer: None,
             fault_plan: None,
         }
-    }
-
-    /// Attaches a span recorder; every subsequent launch, GEMM, and
-    /// transfer is recorded on the simulated clock. Clones of the engine
-    /// share the recorder (like they share the run context).
-    #[deprecated(since = "0.4.0", note = "use Engine::builder(spec).tracer(..).build()")]
-    pub fn with_tracer(mut self, tracer: Arc<TraceRecorder>) -> Self {
-        self.tracer = Some(tracer);
-        self
     }
 
     /// The attached span recorder, if tracing is enabled.
@@ -406,18 +411,6 @@ impl Engine {
     /// The attached chaos schedule, if fault injection is enabled.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.fault_plan.as_ref()
-    }
-
-    /// Overrides the simulation worker count (`0` = one per core). Results
-    /// are bit-identical for any value; this only trades wall-clock time.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Engine::builder(spec).sim_threads(..).build() \
-                (sim_threads_auto() replaces the 0 sentinel)"
-    )]
-    pub fn with_sim_threads(mut self, threads: usize) -> Self {
-        self.sim_threads = threads;
-        self
     }
 
     /// The configured simulation worker count (`0` = one per core).
@@ -546,16 +539,19 @@ impl Engine {
     }
 
     /// Launches a kernel against the engine's own (shared) context.
+    /// Exactly `submit(&mut self.lock_context(), Workload::Kernel(kernel))`.
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
     pub fn run(&self, kernel: &dyn Kernel) -> Result<KernelMetrics> {
-        let mut ctx = self.ctx.lock().unwrap_or_else(|p| p.into_inner());
-        self.launch_kernel(&mut ctx, kernel, true, 1.0)
+        self.submit(&mut self.lock_context(), Workload::Kernel(kernel))
+            .map(WorkloadMetrics::into_kernel)
     }
 
-    /// Launches a kernel against an explicit context.
+    /// Launches a kernel against an explicit context. Exactly
+    /// `submit(ctx, Workload::Kernel(kernel))`.
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Kernel")]
     pub fn run_in(&self, ctx: &mut RunContext, kernel: &dyn Kernel) -> Result<KernelMetrics> {
-        self.launch_kernel(ctx, kernel, true, 1.0)
+        self.submit(ctx, Workload::Kernel(kernel))
+            .map(WorkloadMetrics::into_kernel)
     }
 
     /// Simulates one kernel launch. The context is fully re-prepared
@@ -581,13 +577,10 @@ impl Engine {
 
         // Occupancy-limited latency hiding: big blocks co-reside less on an
         // SM, so fewer independent warps are available to cover memory
-        // stalls. Shared-memory demand caps residency the same way.
-        let resident_by_threads =
-            (self.spec.max_threads_per_sm / grid.threads_per_block.max(1)).max(1) as u64;
-        let resident_by_shared = (2 * self.spec.shared_mem_per_block)
-            .checked_div(grid.shared_mem_bytes)
-            .map_or(u64::MAX, |b| b.max(1) as u64);
-        let resident = resident_by_threads.min(resident_by_shared);
+        // stalls. Shared-memory and register-file demand cap residency the
+        // same way; `occupancy_limit` is the single source of truth.
+        let resources = kernel.block_resources();
+        let resident = self.spec.occupancy_limit(&resources).get().max(1) as u64;
         // Roughly half the resident blocks have runnable warps at any
         // moment (the rest drain at barriers/tails), so effective
         // latency-hiding depth is resident/2 — a 1024-thread launch (2
@@ -741,6 +734,9 @@ impl Engine {
             serialized_atomics_total * self.spec.atomic_serialize_cycles;
         totals.useful_cycles = useful_total;
         totals.num_blocks = grid.num_blocks as u64;
+        totals.achieved_occupancy = self
+            .spec
+            .achieved_occupancy(&resources, grid.num_blocks as u64);
         totals.elapsed_cycles = elapsed;
         totals.time_ms = self.spec.cycles_to_ms(elapsed);
 
@@ -852,9 +848,18 @@ impl Engine {
     }
 
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP).
+    /// Exactly `submit(&mut self.lock_context(), Workload::Gemm { m, n, k })`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an attached [`EngineBuilder::fault_plan`] kills the
+    /// submission — the legacy signature has no error channel. Use
+    /// [`Engine::submit`] under fault injection.
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Gemm")]
     pub fn run_gemm(&self, m: usize, n: usize, k: usize) -> KernelMetrics {
-        self.price_gemm_inner(m, n, k, true, 1.0)
+        self.submit(&mut self.lock_context(), Workload::Gemm { m, n, k })
+            .expect("GEMM pricing only fails under an injected fault plan")
+            .into_kernel()
     }
 
     /// Prices a dense `m x k · k x n` GEMM (the update-phase DGEMM/MLP) with
@@ -889,6 +894,9 @@ impl Engine {
             l2_hits: (flops / 64).max(1),
             l2_misses: (bytes / self.spec.line_bytes as u64).max(1),
             sm_efficiency: self.spec.gemm_efficiency,
+            achieved_occupancy: self
+                .spec
+                .achieved_occupancy(&GEMM_BLOCK_RESOURCES, m.div_ceil(64) as u64),
             useful_cycles: flops,
             num_blocks: m.div_ceil(64) as u64,
             limiter: if compute_cycles >= bw_cycles {
@@ -915,10 +923,19 @@ impl Engine {
         metrics
     }
 
-    /// Prices a host→device or device→host copy.
+    /// Prices a host→device or device→host copy. Exactly
+    /// `submit(&mut self.lock_context(), Workload::Transfer { bytes })`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an attached [`EngineBuilder::fault_plan`] kills the
+    /// submission — the legacy signature has no error channel. Use
+    /// [`Engine::submit`] under fault injection.
     #[deprecated(since = "0.4.0", note = "use Engine::submit with Workload::Transfer")]
     pub fn run_transfer(&self, bytes: u64) -> TransferMetrics {
-        self.price_transfer(bytes, true)
+        self.submit(&mut self.lock_context(), Workload::Transfer { bytes })
+            .expect("transfer pricing only fails under an injected fault plan")
+            .into_transfer()
     }
 
     /// Prices a host→device or device→host copy over the PCIe model.

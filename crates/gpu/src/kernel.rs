@@ -10,6 +10,7 @@
 //! maximum over lanes — the SIMT lockstep cost — and records the sum as
 //! useful work so SM-efficiency reflects the waste.
 
+use crate::spec::{BlockResources, DEFAULT_REGS_PER_THREAD};
 use crate::GpuError;
 
 /// Identifies a simulated global-memory array (feature matrix, CSR arrays,
@@ -55,7 +56,24 @@ impl GridConfig {
                 limit: spec.shared_mem_per_block,
             });
         }
+        debug_assert!(
+            spec.occupancy_limit(&self.resources()).is_launchable(),
+            "a validated grid must be admissible on an empty SM"
+        );
         Ok(())
+    }
+
+    /// The per-block resource demand this launch presents to the device
+    /// core's admission check ([`crate::GpuSpec::occupancy_limit`]).
+    /// Register demand defaults to [`DEFAULT_REGS_PER_THREAD`]; kernels
+    /// with unusual register pressure override
+    /// [`Kernel::block_resources`].
+    pub fn resources(&self) -> BlockResources {
+        BlockResources {
+            regs_per_thread: DEFAULT_REGS_PER_THREAD,
+            smem_bytes: self.shared_mem_bytes,
+            threads: self.threads_per_block,
+        }
     }
 }
 
@@ -73,6 +91,14 @@ pub trait Kernel: Sync {
 
     /// The launch configuration.
     fn grid(&self) -> GridConfig;
+
+    /// The per-block resource demand the command processor admits this
+    /// kernel's blocks against. Defaults to the grid's shape with
+    /// [`DEFAULT_REGS_PER_THREAD`] registers per thread; override to
+    /// declare real register pressure.
+    fn block_resources(&self) -> BlockResources {
+        self.grid().resources()
+    }
 
     /// Emits the operations of one thread block. Call
     /// [`BlockSink::begin_warp`] before each warp's ops.

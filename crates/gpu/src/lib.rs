@@ -24,6 +24,7 @@
 
 pub mod cache;
 pub mod context;
+pub mod device;
 pub mod device_memory;
 pub mod engine;
 pub mod fault;
@@ -35,6 +36,7 @@ pub mod trace;
 pub mod transfer;
 
 pub use context::RunContext;
+pub use device::{BlockDemand, CommandProcessor, Retirement, RetirementQueue, SmUsage};
 pub use device_memory::DeviceMemory;
 pub use engine::{
     parse_sim_threads, Engine, EngineBuilder, Workload, WorkloadMetrics, MAX_SIM_THREADS,
@@ -42,8 +44,8 @@ pub use engine::{
 pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use kernel::{ArrayId, BlockSink, GridConfig, Kernel};
 pub use metrics::{HitRateWindow, KernelMetrics, Limiter, PhaseBreakdown, RunMetrics};
-pub use spec::GpuSpec;
-pub use stream::{Enqueued, EventId, OpSpan, StreamId, StreamReport, StreamSim};
+pub use spec::{BlockResources, BlocksPerSm, GpuSpec, DEFAULT_REGS_PER_THREAD};
+pub use stream::{Enqueued, EventId, OpClass, OpHandle, OpSpan, StreamId, StreamReport, StreamSim};
 pub use trace::{ArgValue, SpanKind, TraceEvent, TraceRecorder};
 pub use transfer::TransferMetrics;
 

@@ -98,6 +98,12 @@ pub struct KernelMetrics {
     pub num_blocks: u64,
     /// SM efficiency in `[0, 1]`: useful issue time over elapsed × #SMs.
     pub sm_efficiency: f64,
+    /// Achieved occupancy in `[0, 1]`: resident warps over the device's
+    /// warp slots (`max_threads_per_sm / 32` per SM), analytically, with
+    /// the kernel alone on the device. Grids too small to reach the
+    /// per-shape residency limit ([`crate::GpuSpec::occupancy_limit`])
+    /// achieve proportionally less.
+    pub achieved_occupancy: f64,
     /// Which resource bound the kernel's elapsed time (roofline verdict).
     pub limiter: Limiter,
     /// Exact phase attribution of `elapsed_cycles` (sums to it).

@@ -10,6 +10,62 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::WARP_SIZE;
+
+/// Architectural register width in bytes (one 32-bit register).
+pub const REGISTER_BYTES: u32 = 4;
+
+/// Default register demand per thread when a kernel does not declare one.
+/// 32 registers is the compiler sweet spot both presets' toolchains target
+/// (and keeps the register-file limit exactly as permissive as the
+/// thread-slot limit at the default file size, so undeclared kernels see
+/// no new constraint).
+pub const DEFAULT_REGS_PER_THREAD: u32 = 32;
+
+/// Typed per-block resource demand of one kernel launch — the quantities
+/// the device core's command processor admits blocks against. Replaces
+/// ad-hoc reads of `shared_mem_per_block` / `max_threads_per_sm` in the
+/// advisor, kernels, and tuning layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockResources {
+    /// Architectural registers per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per block, bytes.
+    pub smem_bytes: usize,
+    /// Threads per block.
+    pub threads: u32,
+}
+
+impl BlockResources {
+    /// Register-file bytes one block pins on its SM.
+    pub fn regfile_bytes(&self) -> u64 {
+        self.regs_per_thread as u64 * REGISTER_BYTES as u64 * self.threads as u64
+    }
+
+    /// Warp slots one block occupies (ragged tails round up).
+    pub fn warps(&self) -> u32 {
+        self.threads.div_ceil(WARP_SIZE).max(1)
+    }
+}
+
+/// How many blocks of one launch can co-reside on a single SM — the
+/// result of [`GpuSpec::occupancy_limit`]. Zero means the block shape
+/// exceeds a per-block device limit and can never launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlocksPerSm(u32);
+
+impl BlocksPerSm {
+    /// Blocks per SM; `0` = unlaunchable.
+    pub fn get(&self) -> u32 {
+        self.0
+    }
+
+    /// Whether a block of this shape can run on the device at all.
+    pub fn is_launchable(&self) -> bool {
+        self.0 > 0
+    }
+}
+
 /// Static description of a simulated GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuSpec {
@@ -32,12 +88,23 @@ pub struct GpuSpec {
     pub line_bytes: usize,
     /// Shared memory available to one block, in bytes.
     pub shared_mem_per_block: usize,
+    /// Shared memory per SM shared among its resident blocks, in bytes —
+    /// one of the four admission limits of
+    /// [`GpuSpec::occupancy_limit`].
+    pub shared_mem_per_sm: usize,
+    /// Register-file capacity per SM, in bytes (64 K 32-bit registers on
+    /// both Table 3 parts); resident blocks pin
+    /// `regs_per_thread * 4 * threads` each.
+    pub regfile_bytes_per_sm: usize,
     /// Maximum threads per block.
     pub max_threads_per_block: u32,
     /// Maximum resident threads per SM — with `threads_per_block`, this
     /// bounds how many blocks co-reside on an SM, which in turn bounds
     /// memory-latency hiding (big blocks lower occupancy).
     pub max_threads_per_sm: u32,
+    /// Hard cap on resident blocks per SM regardless of how little each
+    /// block demands (the hardware's block-slot count).
+    pub max_blocks_per_sm: u32,
     /// Fixed dispatch/teardown cost per thread block in cycles (small
     /// blocks launch many of these).
     pub block_overhead_cycles: u64,
@@ -87,8 +154,11 @@ impl GpuSpec {
             l2_ways: 16,
             line_bytes: 128,
             shared_mem_per_block: 48 * 1024,
+            shared_mem_per_sm: 96 * 1024,
+            regfile_bytes_per_sm: 256 * 1024,
             max_threads_per_block: 1024,
             max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
             block_overhead_cycles: 120,
             dram_bandwidth_gbps: 432.0,
             dram_latency_cycles: 400,
@@ -120,8 +190,11 @@ impl GpuSpec {
             l2_ways: 16,
             line_bytes: 128,
             shared_mem_per_block: 48 * 1024,
+            shared_mem_per_sm: 96 * 1024,
+            regfile_bytes_per_sm: 256 * 1024,
             max_threads_per_block: 1024,
             max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
             block_overhead_cycles: 110,
             dram_bandwidth_gbps: 900.0,
             dram_latency_cycles: 375,
@@ -178,6 +251,57 @@ impl GpuSpec {
     pub fn l2_sets(&self) -> usize {
         (self.l2_bytes / self.line_bytes / self.l2_ways).max(1)
     }
+
+    /// Warp slots per SM (`max_threads_per_sm / 32`).
+    pub fn max_warps_per_sm(&self) -> u32 {
+        (self.max_threads_per_sm / WARP_SIZE).max(1)
+    }
+
+    /// How many blocks of the given shape one SM can host at once: the
+    /// minimum over the four per-SM admission limits (warp slots,
+    /// shared-memory bytes, register-file bytes, block slots), or `0`
+    /// when the block exceeds a *per-block* device limit (too many
+    /// threads, or more static shared memory than one block may request)
+    /// and can never launch. This is the single source of truth for
+    /// occupancy: the engine's latency-hiding depth, the stream
+    /// scheduler's block admission, and Algorithm 1's shared-memory
+    /// sizing all ask it.
+    pub fn occupancy_limit(&self, r: &BlockResources) -> BlocksPerSm {
+        if r.threads == 0
+            || r.threads > self.max_threads_per_block
+            || r.smem_bytes > self.shared_mem_per_block
+        {
+            return BlocksPerSm(0);
+        }
+        let by_warps = self.max_warps_per_sm() / r.warps();
+        let by_smem = self
+            .shared_mem_per_sm
+            .checked_div(r.smem_bytes)
+            .map_or(u32::MAX, |n| n.min(u32::MAX as usize) as u32);
+        let by_regs = (self.regfile_bytes_per_sm as u64)
+            .checked_div(r.regfile_bytes())
+            .map_or(u32::MAX, |n| n.min(u32::MAX as u64) as u32);
+        BlocksPerSm(
+            by_warps
+                .min(by_smem)
+                .min(by_regs)
+                .min(self.max_blocks_per_sm),
+        )
+    }
+
+    /// Achieved occupancy of a launch alone on the device, in `[0, 1]`:
+    /// resident warps per SM over the SM's warp slots. Residency is the
+    /// shape's [`GpuSpec::occupancy_limit`], but a grid too small to fill
+    /// every SM to that limit achieves proportionally less (its blocks
+    /// spread breadth-first, `ceil(num_blocks / num_sms)` deep).
+    pub fn achieved_occupancy(&self, r: &BlockResources, num_blocks: u64) -> f64 {
+        let limit = self.occupancy_limit(r).get() as u64;
+        if limit == 0 || num_blocks == 0 {
+            return 0.0;
+        }
+        let resident = limit.min(num_blocks.div_ceil(self.num_sms as u64));
+        (resident * r.warps() as u64) as f64 / self.max_warps_per_sm() as f64
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +332,75 @@ mod tests {
         // the marketing figure undersells; accept the band.
         assert!(s.peak_tflops() > 13.0 && s.peak_tflops() < 16.5);
         assert!(s.dram_bandwidth_gbps / GpuSpec::quadro_p6000().dram_bandwidth_gbps > 2.0);
+    }
+
+    #[test]
+    fn occupancy_limit_takes_the_binding_resource() {
+        let s = GpuSpec::quadro_p6000();
+        let r = |threads: u32, smem: usize, regs: u32| BlockResources {
+            regs_per_thread: regs,
+            smem_bytes: smem,
+            threads,
+        };
+        // Warp slots bind: 64 warp slots / 8 warps per block = 8.
+        assert_eq!(s.occupancy_limit(&r(256, 0, 32)).get(), 8);
+        // Shared memory binds: 96 KiB per SM / 48 KiB per block = 2.
+        assert_eq!(s.occupancy_limit(&r(128, 48 * 1024, 32)).get(), 2);
+        // Register file binds: 256 KiB / (64 regs * 4 B * 256 thr) = 4.
+        assert_eq!(s.occupancy_limit(&r(256, 0, 64)).get(), 4);
+        // Block slots bind for tiny blocks: warp slots would allow 64.
+        assert_eq!(s.occupancy_limit(&r(32, 0, 8)).get(), 32);
+        assert_eq!(s.occupancy_limit(&r(32, 0, 8)).get(), s.max_blocks_per_sm);
+        // Per-block limits make the shape unlaunchable, not just tight.
+        assert!(!s.occupancy_limit(&r(2048, 0, 32)).is_launchable());
+        assert!(!s.occupancy_limit(&r(256, 49 * 1024, 32)).is_launchable());
+        assert!(!s.occupancy_limit(&r(0, 0, 32)).is_launchable());
+        // Ragged block sizes round up to whole warps: 33 threads pin 2
+        // warp slots.
+        assert_eq!(s.occupancy_limit(&r(33, 0, 8)).get(), 32);
+        assert_eq!(s.occupancy_limit(&r(1000, 0, 8)).get(), 2);
+    }
+
+    #[test]
+    fn occupancy_limit_matches_the_legacy_hiding_inputs() {
+        // The engine's latency-hiding depth used to be
+        // min(max_threads_per_sm / tpb, 2 * shared_mem_per_block / smem).
+        // With the Table-3 defaults (96 KiB smem/SM, 256 KiB regfile, 32
+        // regs/thread) the new four-way limit reproduces it for every
+        // warp-aligned block size, so engine metrics did not move.
+        let s = GpuSpec::quadro_p6000();
+        for tpb in [32u32, 64, 128, 256, 512, 1024] {
+            for smem in [0usize, 1024, 16 * 1024, 48 * 1024] {
+                let legacy_threads = (s.max_threads_per_sm / tpb).max(1);
+                let legacy_shared = (2 * s.shared_mem_per_block)
+                    .checked_div(smem)
+                    .map_or(u32::MAX, |n| (n as u32).max(1));
+                let legacy = legacy_threads.min(legacy_shared).min(s.max_blocks_per_sm);
+                let got = s
+                    .occupancy_limit(&BlockResources {
+                        regs_per_thread: DEFAULT_REGS_PER_THREAD,
+                        smem_bytes: smem,
+                        threads: tpb,
+                    })
+                    .get();
+                assert_eq!(got, legacy, "tpb {tpb} smem {smem}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_resources_accounting() {
+        let r = BlockResources {
+            regs_per_thread: 32,
+            smem_bytes: 1024,
+            threads: 96,
+        };
+        assert_eq!(r.warps(), 3);
+        assert_eq!(r.regfile_bytes(), 32 * 4 * 96);
+        let s = GpuSpec::tesla_v100();
+        assert_eq!(s.max_warps_per_sm(), 64);
+        assert_eq!(s.shared_mem_per_sm, 96 * 1024);
+        assert_eq!(s.regfile_bytes_per_sm, 256 * 1024);
     }
 
     #[test]

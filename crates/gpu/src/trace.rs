@@ -160,7 +160,7 @@ pub(crate) const HOTSPOTS_PER_KERNEL: usize = 4;
 pub(crate) const STREAM_TRACK_BASE: u32 = 32;
 
 /// An opt-in recorder of simulated-clock spans. Attach one to an engine
-/// with [`crate::Engine::with_tracer`]; it is shared (and internally
+/// with [`crate::EngineBuilder::tracer`]; it is shared (and internally
 /// synchronized), so clones of the engine append to the same timeline.
 #[derive(Debug, Default)]
 pub struct TraceRecorder {

@@ -1,18 +1,17 @@
 //! Compatibility coverage for the deprecated `Engine` entry points.
 //!
-//! The `run`/`run_in`/`run_gemm`/`run_transfer` methods and the
-//! `with_tracer`/`with_sim_threads` setters are shims over
-//! [`Engine::submit`] and [`Engine::builder`]. This is the **only** place
-//! in the workspace that still calls them: everything else speaks the new
-//! API, so a deprecation warning anywhere outside this file is a
-//! regression (CI compiles with `-D warnings`).
+//! The `run`/`run_in`/`run_gemm`/`run_transfer` methods are one-line
+//! wrappers over [`Engine::submit`] (the old `with_tracer`/
+//! `with_sim_threads` setters are gone — [`Engine::builder`] replaced
+//! them). This is the **only** place in the workspace that still calls
+//! the wrappers: everything else speaks the new API, so a deprecation
+//! warning anywhere outside this file is a regression (CI compiles with
+//! `-D deprecated`).
 #![allow(deprecated)]
-
-use std::sync::Arc;
 
 use gnnadvisor_gpu::kernel::WARP_SIZE;
 use gnnadvisor_gpu::{
-    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, RunContext, TraceRecorder, Workload,
+    ArrayId, BlockSink, Engine, GpuSpec, GridConfig, Kernel, RunContext, Workload,
 };
 
 /// A small deterministic probe kernel.
@@ -85,40 +84,4 @@ fn deprecated_gemm_and_transfer_match_submit() {
             .expect("runs")
             .into_transfer()
     );
-}
-
-#[test]
-fn deprecated_setters_match_builder() {
-    let spec = GpuSpec::quadro_p6000();
-    // with_sim_threads(n) == builder.sim_threads(n).
-    let shim = Engine::new(spec.clone()).with_sim_threads(3);
-    let built = Engine::builder(spec.clone())
-        .sim_threads(3)
-        .build()
-        .expect("valid");
-    assert_eq!(shim.sim_threads(), built.sim_threads());
-    assert_eq!(shim.run(&Probe).unwrap(), built.run(&Probe).unwrap());
-
-    // with_tracer records the same timeline the builder-attached tracer
-    // does.
-    let record_with = |engine: Engine, tracer: Arc<TraceRecorder>| {
-        engine.run(&Probe).unwrap();
-        engine.run_gemm(256, 32, 64);
-        engine.run_transfer(1 << 20);
-        tracer.to_chrome_json()
-    };
-    let t1 = Arc::new(TraceRecorder::new());
-    let via_shim = record_with(
-        Engine::new(spec.clone()).with_tracer(Arc::clone(&t1)),
-        Arc::clone(&t1),
-    );
-    let t2 = Arc::new(TraceRecorder::new());
-    let via_builder = record_with(
-        Engine::builder(spec)
-            .tracer(Arc::clone(&t2))
-            .build()
-            .expect("valid"),
-        Arc::clone(&t2),
-    );
-    assert_eq!(via_shim, via_builder);
 }

@@ -13,7 +13,7 @@ use gnnadvisor_repro::core::tuning::estimator::{Estimator, EstimatorConfig};
 use gnnadvisor_repro::core::tuning::model;
 use gnnadvisor_repro::core::workload::group::partition_groups;
 use gnnadvisor_repro::core::RuntimeParams;
-use gnnadvisor_repro::gpu::{Engine, GpuSpec, Workload};
+use gnnadvisor_repro::gpu::{BlockResources, Engine, GpuSpec, Workload, DEFAULT_REGS_PER_THREAD};
 use gnnadvisor_repro::graph::generators::{community_graph, CommunityParams};
 
 fn main() {
@@ -45,7 +45,12 @@ fn main() {
             Err(_) => return f64::INFINITY,
         };
         let layout = organize_shared(&groups, p.groups_per_block());
-        let fits = layout.shared_bytes(16) <= spec.shared_mem_per_block;
+        let resources = BlockResources {
+            regs_per_thread: DEFAULT_REGS_PER_THREAD,
+            smem_bytes: layout.shared_bytes(16),
+            threads: p.threads_per_block,
+        };
+        let fits = spec.occupancy_limit(&resources).is_launchable();
         let layout_ref = (p.use_shared && fits).then_some(&layout);
         let kernel = AdvisorKernel::new(&graph, &groups, layout_ref, 16, *p);
         engine

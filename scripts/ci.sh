@@ -7,8 +7,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace -- -D warnings -D deprecated"
+# -D deprecated: the Engine compatibility shims (run/run_in/run_gemm/
+# run_transfer) may only be called from their dedicated compat test, so
+# a deprecation warning anywhere else in the workspace fails the build.
+cargo clippy --offline --workspace --all-targets -- -D warnings -D deprecated
 
 echo "==> cargo build --examples"
 cargo build --offline --workspace --examples
@@ -46,6 +49,10 @@ GNNADVISOR_SIM_THREADS=1 serve "$trace_dir/s_t1.txt"
 GNNADVISOR_SIM_THREADS=4 serve "$trace_dir/s_t4.txt"
 grep -q "latency p50" "$trace_dir/s_a.txt" || {
   echo "FAIL: serve-sim report missing latency stats" >&2
+  exit 1
+}
+grep -q "kernel occupancy" "$trace_dir/s_a.txt" || {
+  echo "FAIL: serve-sim report missing the kernel occupancy row" >&2
   exit 1
 }
 cmp "$trace_dir/s_a.txt" "$trace_dir/s_b.txt" || {
