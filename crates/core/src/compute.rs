@@ -159,6 +159,62 @@ pub fn aggregate_weighted(graph: &Csr, features: &Matrix, weights: &[f32]) -> Ma
     out
 }
 
+/// GCN-normalized aggregation over a sampled sub-block, with the
+/// normalization degrees supplied explicitly:
+///
+/// `out[v] = Σ_{u ∈ N_graph(v)} x_u / sqrt((deg[v]+1)(deg[u]+1))
+///           + x_v / (deg[v]+1)`
+///
+/// Sampled blocks are directed (node `v` keeps edge `v -> u` without `u`
+/// necessarily keeping `u -> v`), so the renormalized adjacency `Â` is
+/// asymmetric and its GCN weights must be recomputed from the *block's*
+/// degrees, not the base graph's. Pass the block itself plus its row
+/// degrees for the forward product `Â x`; pass the block's **transpose**
+/// with the *same* forward degrees for the backward product `Âᵀ x` (the
+/// weight formula is symmetric in `(v, u)`, so transposing the structure
+/// while keeping the degrees yields exactly the transposed operator).
+///
+/// On an undirected graph with `degrees[v] == graph.degree(v)` this
+/// reduces bit-for-bit to [`aggregate_reference`] with
+/// [`Aggregation::GcnNorm`].
+///
+/// # Panics
+///
+/// Panics if `features.rows()` or `degrees.len()` mismatch the node
+/// count.
+pub fn aggregate_gcn_block(graph: &Csr, degrees: &[usize], features: &Matrix) -> Matrix {
+    assert_eq!(
+        features.rows(),
+        graph.num_nodes(),
+        "feature rows must match node count"
+    );
+    assert_eq!(
+        degrees.len(),
+        graph.num_nodes(),
+        "one normalization degree per node"
+    );
+    let d = features.cols();
+    let mut out = Matrix::zeros(graph.num_nodes(), d);
+    for v in 0..graph.num_nodes() as NodeId {
+        let dv = degrees[v as usize] as f32 + 1.0;
+        let row_out = out.row_mut(v as usize);
+        for &u in graph.neighbors(v) {
+            let du = degrees[u as usize] as f32 + 1.0;
+            let w = 1.0 / (dv * du).sqrt();
+            for (o, &x) in row_out.iter_mut().zip(features.row(u as usize)) {
+                *o += w * x;
+            }
+        }
+        // Self-loop term of the renormalized adjacency (diagonal, so it
+        // is its own transpose and appears identically in both passes).
+        let w = 1.0 / dv;
+        for (o, &x) in row_out.iter_mut().zip(features.row(v as usize)) {
+            *o += w * x;
+        }
+    }
+    out
+}
+
 #[inline]
 fn edge_weight(graph: &Csr, v: NodeId, u: NodeId, op: Aggregation) -> f32 {
     match op {
@@ -230,6 +286,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn block_norm_reduces_to_reference_on_undirected_graphs() {
+        let g = barabasi_albert(120, 3, 21).expect("valid");
+        let f = random_features(120, 8, 2);
+        let degrees: Vec<usize> = (0..120u32).map(|v| g.degree(v)).collect();
+        let a = aggregate_reference(&g, &f, Aggregation::GcnNorm);
+        let b = aggregate_gcn_block(&g, &degrees, &f);
+        assert_eq!(a, b, "undirected full graph: block norm == GcnNorm");
+    }
+
+    #[test]
+    fn block_norm_transpose_is_the_adjoint() {
+        // <Â x, y> == <x, Âᵀ y> for the directed operator: the transpose
+        // structure with forward degrees is exactly the adjoint — the
+        // identity mini-batch backward relies on.
+        let block = Csr::from_raw(4, vec![0, 2, 3, 3, 4], vec![1, 2, 2, 0]).expect("valid");
+        let degrees: Vec<usize> = (0..4u32).map(|v| block.degree(v)).collect();
+        let bt = block.transpose();
+        let x = random_features(4, 3, 7);
+        let y = random_features(4, 3, 8);
+        let ax = aggregate_gcn_block(&block, &degrees, &x);
+        let aty = aggregate_gcn_block(&bt, &degrees, &y);
+        let dot = |a: &Matrix, b: &Matrix| -> f64 {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&p, &q)| p as f64 * q as f64)
+                .sum()
+        };
+        assert!(
+            (dot(&ax, &y) - dot(&x, &aty)).abs() < 1e-5,
+            "adjoint identity violated"
+        );
+        // And the naive symmetric shortcut is genuinely wrong here.
+        let forward_again = aggregate_gcn_block(&block, &degrees, &y);
+        assert!(forward_again != aty, "block is asymmetric, Â != Âᵀ");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod frameworks;
 pub mod input;
 pub mod kernels;
 pub mod memory;
+pub mod minibatch;
 pub mod multi_gpu;
 pub mod runtime;
 pub mod serving;

@@ -16,6 +16,8 @@
 //!   community-aware node-renumbering pipeline (Section 6.1).
 //! - [`stats`]: degree and locality statistics used by the input extractor
 //!   (Section 4.1) and by the analytical model's `alpha` parameter.
+//! - [`sample`]: seeded neighbor fan-out and layer-wise sampling producing
+//!   per-mini-batch [`SampledBlock`] sub-CSRs for sampling-based training.
 //! - [`dynamic`]: seeded edge/node update streams and [`DeltaCsr`], an
 //!   incrementally maintained CSR with copy-on-write snapshots for serving
 //!   queries while the graph mutates.
@@ -32,6 +34,7 @@ pub mod dynamic;
 pub mod generators;
 pub mod io;
 pub mod reorder;
+pub mod sample;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -41,6 +44,7 @@ pub use dynamic::{
     generate_updates, DeltaCsr, GraphSnapshot, UpdateEvent, UpdateKind, UpdateStreamConfig,
 };
 pub use reorder::permutation::Permutation;
+pub use sample::{sample_block, sample_epoch, SampleConfig, SampleStrategy, SampledBlock};
 
 /// Errors produced while constructing or transforming graphs.
 #[derive(Debug, Clone, PartialEq, Eq)]

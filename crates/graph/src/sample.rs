@@ -1,0 +1,440 @@
+//! Seeded neighbor fan-out and layer-wise sampling for mini-batch training.
+//!
+//! Sampling-based GNN training never touches the full graph per step:
+//! each mini-batch picks a set of *seed* nodes, expands their receptive
+//! field hop by hop under a sampling policy, and trains on the resulting
+//! sub-block. This module produces those blocks over the synthetic
+//! generators:
+//!
+//! - [`SampleStrategy::NeighborFanout`] — GraphSAGE-style per-node
+//!   fan-out: every frontier node keeps at most `fanouts[hop]` of its
+//!   neighbors, sampled without replacement.
+//! - [`SampleStrategy::LayerWise`] — FastGCN-style per-layer budget: the
+//!   union of all frontier neighbors is subsampled to at most `budget`
+//!   nodes per hop, and each frontier node keeps its edges into the
+//!   chosen set.
+//!
+//! A [`SampledBlock`] is a *directed* CSR over block-local ids: row `v`
+//! lists the neighbors `v` sampled, so the adjacency is asymmetric in
+//! general even over an undirected base graph (`v` may sample `u`
+//! without `u` sampling `v`, and frontier-most nodes have empty rows).
+//! Downstream normalization (GCN's symmetric norm) therefore has to be
+//! recomputed from the block's own degrees — see
+//! [`SampledBlock::degrees`] — and the backward pass has to aggregate
+//! over the block's transpose; assuming forward/backward symmetry is
+//! only valid on full undirected graphs.
+//!
+//! Everything is seeded and serial: the same `(graph, config, epoch)`
+//! triple produces byte-identical blocks on every run and at any
+//! `GNNADVISOR_SIM_THREADS` (the sampler never touches the simulator).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Csr, NodeId};
+use crate::{GraphError, Result};
+
+/// How the receptive field is subsampled at each hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleStrategy {
+    /// Per-node fan-out: every frontier node keeps at most `fanouts[hop]`
+    /// neighbors.
+    NeighborFanout,
+    /// Per-layer budget: at most `budget` distinct neighbor nodes survive
+    /// per hop, shared across the whole frontier.
+    LayerWise {
+        /// Maximum distinct sampled nodes per hop.
+        budget: usize,
+    },
+}
+
+/// Parameters of one epoch's worth of mini-batch samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Seed nodes per mini-batch (the last batch of an epoch may be
+    /// smaller).
+    pub batch_size: usize,
+    /// Per-hop fan-outs, seed-adjacent hop first. The length is the
+    /// number of sampled hops; under [`SampleStrategy::LayerWise`] the
+    /// values still cap each node's kept edges into the chosen set.
+    pub fanouts: Vec<usize>,
+    /// Subsampling policy.
+    pub strategy: SampleStrategy,
+    /// Sampling seed; combined with the epoch index so every epoch draws
+    /// a fresh (but replayable) permutation and sample.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 256,
+            fanouts: vec![10, 5],
+            strategy: SampleStrategy::NeighborFanout,
+            seed: 7,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// Validates the configuration (positive batch size, at least one
+    /// non-zero fan-out, non-zero layer-wise budget).
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(GraphError::InvalidParameters {
+                reason: "sample batch_size must be > 0".into(),
+            });
+        }
+        if self.fanouts.is_empty() {
+            return Err(GraphError::InvalidParameters {
+                reason: "sample fanouts must name at least one hop".into(),
+            });
+        }
+        if self.fanouts.contains(&0) {
+            return Err(GraphError::InvalidParameters {
+                reason: "sample fanouts must all be > 0".into(),
+            });
+        }
+        if let SampleStrategy::LayerWise { budget } = self.strategy {
+            if budget == 0 {
+                return Err(GraphError::InvalidParameters {
+                    reason: "layer-wise budget must be > 0".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One mini-batch's sampled sub-block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledBlock {
+    /// The sampled adjacency over block-local ids: row `v` lists the
+    /// neighbors `v` sampled. Directed — asymmetric in general.
+    pub block: Csr,
+    /// Block-local id → base-graph id. The first [`Self::num_seeds`]
+    /// entries are the batch's seed nodes in batch order.
+    pub nodes: Vec<NodeId>,
+    /// How many leading entries of [`Self::nodes`] are seeds (the nodes
+    /// whose predictions the batch trains on).
+    pub num_seeds: usize,
+    /// Node-count prefix per hop: `hop_offsets[h]..hop_offsets[h + 1]`
+    /// are the block-local ids first reached at hop `h` (hop 0 = seeds).
+    pub hop_offsets: Vec<usize>,
+    /// Base-graph adjacency entries examined while sampling — the
+    /// candidate scan the host pays for before any edge is kept.
+    pub scanned_edges: usize,
+}
+
+impl SampledBlock {
+    /// The block's per-node sampled out-degrees (row lengths) — the
+    /// degrees GCN normalization must be recomputed from, because base-
+    /// graph degrees overcount what the block actually aggregates.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.block.num_nodes() as NodeId)
+            .map(|v| self.block.degree(v))
+            .collect()
+    }
+
+    /// Bytes of feature rows the host gathers for this block.
+    pub fn gather_bytes(&self, feat_dim: usize) -> usize {
+        self.block.num_nodes() * feat_dim * core::mem::size_of::<f32>()
+    }
+}
+
+/// Samples one epoch: a seeded shuffle of all nodes, chunked into
+/// batches of `cfg.batch_size` seeds, each expanded into a
+/// [`SampledBlock`]. The epoch index is folded into the seed so epochs
+/// draw distinct (but individually replayable) samples.
+pub fn sample_epoch(graph: &Csr, cfg: &SampleConfig, epoch: u64) -> Result<Vec<SampledBlock>> {
+    cfg.validate()?;
+    if graph.num_nodes() == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "cannot sample an empty graph".into(),
+        });
+    }
+    // Golden-ratio stride decorrelates epochs without losing replay.
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (epoch.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut order: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    order.shuffle(&mut rng);
+    order
+        .chunks(cfg.batch_size)
+        .map(|seeds| sample_block(graph, seeds, cfg, &mut rng))
+        .collect()
+}
+
+/// Expands one batch of seed nodes into a [`SampledBlock`] under the
+/// config's strategy, drawing from `rng`.
+pub fn sample_block(
+    graph: &Csr,
+    seeds: &[NodeId],
+    cfg: &SampleConfig,
+    rng: &mut SmallRng,
+) -> Result<SampledBlock> {
+    cfg.validate()?;
+    if seeds.is_empty() {
+        return Err(GraphError::InvalidParameters {
+            reason: "a sample batch needs at least one seed".into(),
+        });
+    }
+    let n = graph.num_nodes();
+    let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(seeds.len() * 4);
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(seeds.len() * 4);
+    for &s in seeds {
+        if (s as usize) >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: s as u64,
+                num_nodes: n as u64,
+            });
+        }
+        if local_of.insert(s, nodes.len() as u32).is_some() {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("duplicate seed node {s}"),
+            });
+        }
+        nodes.push(s);
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    let mut hop_offsets = vec![0usize, nodes.len()];
+    let mut frontier = 0..nodes.len();
+    let mut scanned_edges = 0usize;
+
+    for &fanout in &cfg.fanouts {
+        let hop_start = nodes.len();
+        // Layer-wise: pick the hop's shared node budget up front from the
+        // frontier's candidate union (first-seen order keeps it seeded).
+        let chosen_pool: Option<HashSet<NodeId>> = match cfg.strategy {
+            SampleStrategy::NeighborFanout => None,
+            SampleStrategy::LayerWise { budget } => {
+                let mut union: Vec<NodeId> = Vec::new();
+                let mut seen: HashSet<NodeId> = HashSet::new();
+                for v_local in frontier.clone() {
+                    let v = nodes[v_local];
+                    for &u in graph.neighbors(v) {
+                        if u != v && seen.insert(u) {
+                            union.push(u);
+                        }
+                    }
+                }
+                Some(
+                    sample_without_replacement(&union, budget, rng)
+                        .into_iter()
+                        .collect(),
+                )
+            }
+        };
+        for v_local in frontier.clone() {
+            let v = nodes[v_local];
+            let neigh = graph.neighbors(v);
+            scanned_edges += neigh.len();
+            let kept: Vec<NodeId> = match &chosen_pool {
+                None => {
+                    let candidates: Vec<NodeId> =
+                        neigh.iter().copied().filter(|&u| u != v).collect();
+                    sample_without_replacement(&candidates, fanout, rng)
+                }
+                Some(pool) => {
+                    let candidates: Vec<NodeId> = neigh
+                        .iter()
+                        .copied()
+                        .filter(|&u| u != v && pool.contains(&u))
+                        .collect();
+                    sample_without_replacement(&candidates, fanout, rng)
+                }
+            };
+            for u in kept {
+                let u_local = *local_of.entry(u).or_insert_with(|| {
+                    nodes.push(u);
+                    adj.push(Vec::new());
+                    (nodes.len() - 1) as u32
+                });
+                adj[v_local].push(u_local);
+            }
+        }
+        hop_offsets.push(nodes.len());
+        frontier = hop_start..nodes.len();
+    }
+
+    // Canonical CSR: rows in local-id order, columns ascending.
+    let mut row_ptr = Vec::with_capacity(nodes.len() + 1);
+    let mut col_idx = Vec::new();
+    row_ptr.push(0);
+    for row in &mut adj {
+        row.sort_unstable();
+        col_idx.extend_from_slice(row);
+        row_ptr.push(col_idx.len());
+    }
+    let block = Csr::from_raw(nodes.len(), row_ptr, col_idx)?;
+    Ok(SampledBlock {
+        block,
+        num_seeds: seeds.len(),
+        nodes,
+        hop_offsets,
+        scanned_edges,
+    })
+}
+
+/// At most `k` distinct entries of `pool`, in ascending pool order
+/// (partial Fisher–Yates, then sort for a canonical result).
+fn sample_without_replacement(pool: &[NodeId], k: usize, rng: &mut SmallRng) -> Vec<NodeId> {
+    if pool.len() <= k {
+        let mut all = pool.to_vec();
+        all.sort_unstable();
+        return all;
+    }
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    let mut kept: Vec<NodeId> = idx[..k].iter().map(|&i| pool[i]).collect();
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    fn base() -> Csr {
+        barabasi_albert(400, 6, 3).expect("valid")
+    }
+
+    fn cfg() -> SampleConfig {
+        SampleConfig {
+            batch_size: 64,
+            fanouts: vec![4, 3],
+            strategy: SampleStrategy::NeighborFanout,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn epoch_covers_every_node_as_a_seed_once() {
+        let g = base();
+        let blocks = sample_epoch(&g, &cfg(), 0).expect("samples");
+        let mut seeds: Vec<NodeId> = blocks
+            .iter()
+            .flat_map(|b| b.nodes[..b.num_seeds].iter().copied())
+            .collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, (0..g.num_nodes() as NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fanout_bounds_block_degrees() {
+        let g = base();
+        let c = cfg();
+        for b in sample_epoch(&g, &c, 1).expect("samples") {
+            let max_fanout = *c.fanouts.iter().max().expect("non-empty");
+            for v in 0..b.block.num_nodes() as NodeId {
+                assert!(b.block.degree(v) <= max_fanout);
+                // Never more than the base graph offers.
+                assert!(b.block.degree(v) <= g.degree(b.nodes[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_the_base_graph() {
+        let g = base();
+        for b in sample_epoch(&g, &cfg(), 2).expect("samples") {
+            for v in 0..b.block.num_nodes() as NodeId {
+                let base_v = b.nodes[v as usize];
+                for &u in b.block.neighbors(v) {
+                    let base_u = b.nodes[u as usize];
+                    assert!(
+                        g.neighbors(base_v).contains(&base_u),
+                        "block edge {base_v}->{base_u} absent from base graph"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = base();
+        let a = sample_epoch(&g, &cfg(), 5).expect("samples");
+        let b = sample_epoch(&g, &cfg(), 5).expect("samples");
+        assert_eq!(a, b);
+        // Distinct epochs draw distinct shuffles.
+        let c = sample_epoch(&g, &cfg(), 6).expect("samples");
+        assert_ne!(
+            a.first().map(|b| b.nodes.clone()),
+            c.first().map(|b| b.nodes.clone())
+        );
+    }
+
+    #[test]
+    fn blocks_are_asymmetric_in_general() {
+        // Fan-out sampling keeps v -> u without necessarily keeping
+        // u -> v; over many blocks of a dense-enough graph at small
+        // fan-out, at least one block must be asymmetric. This is the
+        // property that invalidates the symmetric-backward shortcut.
+        let g = base();
+        let c = SampleConfig {
+            fanouts: vec![2, 2],
+            ..cfg()
+        };
+        let any_asymmetric = sample_epoch(&g, &c, 0)
+            .expect("samples")
+            .iter()
+            .any(|b| !b.block.is_symmetric());
+        assert!(any_asymmetric);
+    }
+
+    #[test]
+    fn layer_wise_budget_caps_hop_growth() {
+        let g = base();
+        let budget = 16;
+        let c = SampleConfig {
+            batch_size: 32,
+            fanouts: vec![8, 8],
+            strategy: SampleStrategy::LayerWise { budget },
+            seed: 4,
+        };
+        for b in sample_epoch(&g, &c, 0).expect("samples") {
+            for h in 1..b.hop_offsets.len() - 1 {
+                let added = b.hop_offsets[h + 1] - b.hop_offsets[h];
+                assert!(added <= budget, "hop {h} added {added} > budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = base();
+        let mut c = cfg();
+        c.batch_size = 0;
+        assert!(sample_epoch(&g, &c, 0).is_err());
+        let mut c = cfg();
+        c.fanouts.clear();
+        assert!(sample_epoch(&g, &c, 0).is_err());
+        let mut c = cfg();
+        c.strategy = SampleStrategy::LayerWise { budget: 0 };
+        assert!(sample_epoch(&g, &c, 0).is_err());
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(sample_block(&g, &[], &cfg(), &mut rng).is_err());
+        assert!(sample_block(&g, &[0, 0], &cfg(), &mut rng).is_err());
+        assert!(sample_block(&g, &[9_999], &cfg(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn hop_offsets_partition_the_block() {
+        let g = base();
+        for b in sample_epoch(&g, &cfg(), 3).expect("samples") {
+            assert_eq!(b.hop_offsets[0], 0);
+            assert_eq!(b.hop_offsets[1], b.num_seeds);
+            assert_eq!(*b.hop_offsets.last().expect("non-empty"), b.nodes.len());
+            assert!(b.hop_offsets.windows(2).all(|w| w[0] <= w[1]));
+            assert!(b.scanned_edges >= b.block.num_edges());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on the mini-batch sampler: seeded determinism
+//! and the structural invariants every sampled block must satisfy.
+
+use proptest::prelude::*;
+
+use gnnadvisor_graph::sample::{sample_epoch, SampleConfig, SampleStrategy, SampledBlock};
+use gnnadvisor_graph::{Csr, EdgeList};
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (
+        4usize..=60,
+        proptest::collection::vec((0u32..60, 0u32..60), 1..200),
+    )
+        .prop_map(|(n, raw)| {
+            let mut el = EdgeList::new(n);
+            for (u, v) in raw {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    el.push_undirected(u, v);
+                }
+            }
+            el.dedup();
+            el.into_csr().expect("bounded ids")
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = SampleConfig> {
+    (
+        1usize..=20,
+        proptest::collection::vec(1usize..=6, 1..=3),
+        prop_oneof![
+            Just(SampleStrategy::NeighborFanout),
+            (4usize..=64).prop_map(|budget| SampleStrategy::LayerWise { budget }),
+        ],
+        0u64..1_000,
+    )
+        .prop_map(|(batch_size, fanouts, strategy, seed)| SampleConfig {
+            batch_size,
+            fanouts,
+            strategy,
+            seed,
+        })
+}
+
+/// Every invariant one block must satisfy against its base graph.
+fn check_block(g: &Csr, cfg: &SampleConfig, blk: &SampledBlock) {
+    let n = blk.nodes.len();
+    assert_eq!(blk.block.num_nodes(), n);
+    assert!(blk.num_seeds >= 1 && blk.num_seeds <= cfg.batch_size);
+
+    // Block-local node ids map to distinct base nodes in range.
+    let mut seen = blk.nodes.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), n, "block nodes must be unique");
+    assert!(blk.nodes.iter().all(|&v| (v as usize) < g.num_nodes()));
+
+    // hop_offsets partitions the node list: seeds first, hops after.
+    assert_eq!(blk.hop_offsets.first().copied(), Some(0));
+    assert_eq!(blk.hop_offsets.last().copied(), Some(n));
+    assert!(blk.hop_offsets.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(blk.hop_offsets.len(), cfg.fanouts.len() + 2);
+    assert_eq!(blk.hop_offsets[1], blk.num_seeds);
+
+    // Fan-out bounds and base-graph membership, row by row.
+    for v in 0..n as u32 {
+        let deg = blk.block.degree(v);
+        let base_deg = g.degree(blk.nodes[v as usize]);
+        assert!(deg <= base_deg, "block degree may not exceed base degree");
+        if let SampleStrategy::NeighborFanout = cfg.strategy {
+            let max_fanout = cfg.fanouts.iter().copied().max().expect("non-empty");
+            assert!(deg <= max_fanout, "degree {deg} over fan-out {max_fanout}");
+        }
+        for &u in blk.block.neighbors(v) {
+            let (bu, bv) = (blk.nodes[u as usize], blk.nodes[v as usize]);
+            assert!(
+                g.neighbors(bv).contains(&bu),
+                "sampled edge {bv}->{bu} missing from the base graph"
+            );
+        }
+    }
+    assert!(blk.scanned_edges >= blk.block.num_edges());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same (graph, config, epoch) triple reproduces the same blocks,
+    /// byte for byte, and every block satisfies the structural invariants.
+    #[test]
+    fn sampling_is_deterministic_and_blocks_are_valid(
+        g in arb_graph(),
+        cfg in arb_config(),
+        epoch in 0u64..4,
+    ) {
+        let a = sample_epoch(&g, &cfg, epoch).expect("samples");
+        let b = sample_epoch(&g, &cfg, epoch).expect("samples");
+        prop_assert_eq!(&a, &b, "sampling must replay exactly");
+
+        // Together the blocks' seeds cover every node exactly once.
+        let mut seeds: Vec<u32> = a
+            .iter()
+            .flat_map(|blk| blk.nodes[..blk.num_seeds].iter().copied())
+            .collect();
+        seeds.sort_unstable();
+        let all: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        prop_assert_eq!(seeds, all);
+
+        for blk in &a {
+            check_block(&g, &cfg, blk);
+        }
+    }
+
+    /// Different epochs draw different seed permutations (on any graph
+    /// big enough that a coincidence is implausible), while each stays
+    /// individually replayable.
+    #[test]
+    fn epochs_reshuffle_the_seed_order(cfg in arb_config()) {
+        let mut el = EdgeList::new(40);
+        for v in 1u32..40 {
+            el.push_undirected(0, v);
+            el.push_undirected(v, (v % 39) + 1);
+        }
+        el.dedup();
+        let g = el.into_csr().expect("valid");
+        let order = |epoch: u64| -> Vec<u32> {
+            sample_epoch(&g, &cfg, epoch)
+                .expect("samples")
+                .iter()
+                .flat_map(|blk| blk.nodes[..blk.num_seeds].iter().copied())
+                .collect()
+        };
+        prop_assert_ne!(order(0), order(1), "epochs must reshuffle seeds");
+    }
+}

@@ -73,6 +73,20 @@ impl<'a> ModelExec<'a> {
         op: Aggregation,
         metrics: &mut RunMetrics,
     ) -> Result<Matrix> {
+        if features.rows() != self.graph.num_nodes() {
+            // Typed error instead of the reference kernel's assert: model
+            // forwards sit on the serving path, where a shape mismatch
+            // must not abort the process.
+            return Err(gnnadvisor_core::CoreError::Tensor(
+                gnnadvisor_tensor::TensorError::ShapeMismatch {
+                    context: format!(
+                        "aggregate features have {} rows but the graph has {} nodes",
+                        features.rows(),
+                        self.graph.num_nodes()
+                    ),
+                },
+            ));
+        }
         let dim = features.cols();
         // Simulated cost.
         let run = match (self.framework, self.advisor) {

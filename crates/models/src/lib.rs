@@ -25,6 +25,7 @@ pub mod exec;
 pub mod gat;
 pub mod gcn;
 pub mod gin;
+pub mod minibatch;
 pub mod sage;
 pub mod serve;
 pub mod train;
@@ -34,6 +35,7 @@ pub use exec::{ForwardResult, ModelExec};
 pub use gat::Gat;
 pub use gcn::Gcn;
 pub use gin::Gin;
+pub use minibatch::{train_minibatch, EpochStats, MiniBatchConfig, MiniBatchReport};
 pub use sage::GraphSage;
 pub use serve::GcnBatchExecutor;
 pub use train::GcnTrainer;

@@ -76,7 +76,9 @@ impl GraphSage {
         for (l, layer) in self.layers.iter().enumerate() {
             // Mean-aggregate neighbors at the current dimension.
             let neigh = exec.aggregate(&h, Aggregation::Mean, &mut metrics)?;
-            let cat = hconcat(&h, &neigh);
+            // `?` propagates a shape mismatch as CoreError::Tensor instead
+            // of aborting the serving process.
+            let cat = hconcat(&h, &neigh).map_err(gnnadvisor_core::CoreError::from)?;
             exec.update_cost(n, layer.in_dim(), layer.out_dim(), &mut metrics);
             let mut out = layer.forward(&cat)?;
             if l + 1 < self.layers.len() {
@@ -107,6 +109,22 @@ mod tests {
         assert_eq!(r.output.shape(), (100, 12));
         assert_eq!(model.num_layers(), 2);
         assert!(r.metrics.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_surfaces_as_a_typed_error() {
+        // The serving path hands models externally shaped features; a
+        // mismatch must come back as CoreError::Tensor, not a panic.
+        let g = barabasi_albert(50, 3, 1).expect("valid");
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let exec = ModelExec::new(&engine, &g, Framework::Dgl, None);
+        let model = GraphSage::paper_default(8, 4, 0);
+        let wrong_rows = random_features(49, 8, 2);
+        let err = model.forward(&exec, &wrong_rows).expect_err("mismatch");
+        assert!(
+            matches!(err, gnnadvisor_core::CoreError::Tensor(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -11,18 +11,55 @@
 //! Backward structure per layer `H_l = ReLU(A_hat (H_{l-1} W_l))`:
 //!
 //! - `dA = dH ⊙ ReLU'`,
-//! - `dZ = A_hat dA` (the renormalized adjacency is symmetric, so the
-//!   backward aggregation is the same kernel as the forward one),
+//! - `dZ = A_hat^T dA` — the gradient propagates through the *transpose*
+//!   of the renormalized adjacency,
 //! - `dW = H_{l-1}^T dZ`, `dH_{l-1} = dZ W^T`.
+//!
+//! On a full undirected graph `A_hat` is symmetric, so [`GcnTrainer::step`]
+//! reuses the forward aggregation kernel for `dZ`. That shortcut is
+//! **invalid** on sampled mini-batch blocks: fan-out sampling keeps edge
+//! `v -> u` without necessarily keeping `u -> v`, the block adjacency is
+//! asymmetric, and its GCN normalization must be recomputed from the
+//! block's own degrees. [`GcnTrainer::step_block`] therefore aggregates
+//! the backward pass over the block's transpose with the forward block's
+//! degrees ([`aggregate_gcn_block`]), which the finite-difference tests
+//! below verify is the true adjoint.
 
-use gnnadvisor_core::compute::Aggregation;
-use gnnadvisor_core::Result;
-use gnnadvisor_gpu::RunMetrics;
+use gnnadvisor_core::compute::{aggregate_gcn_block, Aggregation};
+use gnnadvisor_core::frameworks::{aggregate_with, Framework};
+use gnnadvisor_core::{CoreError, Result};
+use gnnadvisor_gpu::{Engine, RunMetrics, Workload};
+use gnnadvisor_graph::sample::SampledBlock;
 use gnnadvisor_tensor::init::xavier_uniform;
 use gnnadvisor_tensor::ops::softmax_rows_inplace;
 use gnnadvisor_tensor::{gemm, Matrix};
 
 use crate::exec::ModelExec;
+
+/// Checks one label per expected row, each below `classes`, returning a
+/// typed error instead of letting `Matrix::get` abort on a bad index.
+fn validate_labels(labels: &[usize], expected: usize, classes: usize) -> Result<()> {
+    if labels.len() != expected {
+        return Err(CoreError::InvalidParams {
+            reason: format!("expected {expected} labels, got {}", labels.len()),
+        });
+    }
+    if let Some((v, &y)) = labels.iter().enumerate().find(|&(_, &y)| y >= classes) {
+        return Err(CoreError::InvalidParams {
+            reason: format!("label {y} for node {v} out of range: the model has {classes} classes"),
+        });
+    }
+    Ok(())
+}
+
+/// Charges the simulated cost of an `m x k -> m x n` GEMM.
+fn charge_gemm(engine: &Engine, m: usize, n: usize, k: usize, metrics: &mut RunMetrics) {
+    let kernel = engine
+        .submit(&mut engine.lock_context(), Workload::Gemm { m, n, k })
+        .expect("gemm workloads are infallible")
+        .into_kernel();
+    metrics.push_kernel(kernel);
+}
 
 /// One training step's outcome.
 #[derive(Debug, Clone)]
@@ -129,11 +166,10 @@ impl GcnTrainer {
             .collect()
     }
 
-    /// One SGD step on `(features, labels)`; labels index classes per node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `labels.len() != features.rows()`.
+    /// One SGD step on `(features, labels)`; labels index classes per
+    /// node. Returns [`CoreError::InvalidParams`] when the label count
+    /// mismatches the rows or any label is `>= num_classes` — labels come
+    /// from dataset files, so a bad one must not abort the process.
     pub fn step(
         &mut self,
         exec: &ModelExec<'_>,
@@ -141,7 +177,8 @@ impl GcnTrainer {
         labels: &[usize],
     ) -> Result<StepResult> {
         let n = features.rows();
-        assert_eq!(labels.len(), n, "one label per node");
+        let classes = self.weights.last().expect("non-empty").cols();
+        validate_labels(labels, n, classes)?;
         let mut metrics = RunMetrics::default();
         let cache = self.forward(exec, features, &mut metrics)?;
 
@@ -186,8 +223,10 @@ impl GcnTrainer {
                     }
                 }
             }
-            // Backward aggregation: A_hat is symmetric, so the same kernel
-            // (and the same simulated cost) as the forward pass.
+            // Backward aggregation is A_hat^T; on this full-batch path the
+            // graph is undirected so A_hat is symmetric and the forward
+            // kernel (and its simulated cost) is exactly the adjoint.
+            // Sampled blocks are asymmetric — step_block handles those.
             let d_z = exec.aggregate(&d_h, Aggregation::GcnNorm, &mut metrics)?;
             // dW = H_in^T dZ and dH_in = dZ W^T (two GEMMs).
             let h_in: Matrix = if l == 0 {
@@ -225,6 +264,153 @@ impl GcnTrainer {
         Ok(StepResult {
             loss,
             accuracy: correct as f64 / n as f64,
+            metrics,
+        })
+    }
+
+    /// One SGD step on a sampled mini-batch block.
+    ///
+    /// `features` holds one row per block node (block-local order, i.e.
+    /// gathered via [`SampledBlock::nodes`]); `labels` holds one label
+    /// per *seed* — only seed rows enter the loss, deeper hops exist
+    /// solely to feed their receptive fields. The forward pass uses the
+    /// block's own recomputed GCN degrees, and the backward pass
+    /// aggregates over the block's **transpose** with those same degrees
+    /// (the true adjoint of the asymmetric sampled operator — reusing
+    /// the forward aggregation here, as the full-batch symmetric
+    /// shortcut would, computes wrong gradients).
+    ///
+    /// Simulated cost is charged per phase: one GEMM per update, one
+    /// DGL-style aggregation per forward layer on the block and per
+    /// backward layer on its transpose.
+    pub fn step_block(
+        &mut self,
+        engine: &Engine,
+        block: &SampledBlock,
+        features: &Matrix,
+        labels: &[usize],
+    ) -> Result<StepResult> {
+        let g = &block.block;
+        let n = g.num_nodes();
+        let classes = self.weights.last().expect("non-empty").cols();
+        if features.rows() != n {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "block features have {} rows but the block has {n} nodes",
+                    features.rows()
+                ),
+            });
+        }
+        let seeds = block.num_seeds.min(n);
+        validate_labels(labels, seeds, classes)?;
+        let degrees = block.degrees();
+        let transposed = g.transpose();
+        let mut metrics = RunMetrics::default();
+
+        // Forward with per-block normalization.
+        let mut cache: Vec<(Matrix, Matrix)> = Vec::with_capacity(self.weights.len());
+        let mut h = features.clone();
+        for (l, w) in self.weights.iter().enumerate() {
+            charge_gemm(engine, n, w.cols(), w.rows(), &mut metrics);
+            let z = gemm(&h, w)?;
+            metrics.merge(aggregate_with(Framework::Dgl, engine, g, w.cols(), None)?);
+            let a = aggregate_gcn_block(g, &degrees, &z);
+            let post = if l + 1 < self.weights.len() {
+                let mut p = a.clone();
+                gnnadvisor_tensor::ops::relu_inplace(&mut p);
+                p
+            } else {
+                a.clone()
+            };
+            h = post.clone();
+            cache.push((a, post));
+        }
+
+        // Seed-masked softmax cross-entropy: gradient rows of non-seed
+        // nodes stay zero.
+        let logits = &cache.last().expect("non-empty").0;
+        let mut probs = logits.clone();
+        softmax_rows_inplace(&mut probs);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut grad = Matrix::zeros(n, classes);
+        for (v, &y) in labels.iter().enumerate() {
+            let p = probs.get(v, y).max(1e-12);
+            loss -= (p as f64).ln();
+            let row = probs.row(v);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == y {
+                correct += 1;
+            }
+            let inv = 1.0 / seeds as f32;
+            for (c, &p) in row.iter().enumerate() {
+                let indicator = if c == y { 1.0 } else { 0.0 };
+                grad.set(v, c, (p - indicator) * inv);
+            }
+        }
+        loss /= seeds as f64;
+
+        // Backward through layers: aggregation over the transpose.
+        let mut d_h = grad;
+        let mut weight_grads: Vec<Matrix> = Vec::with_capacity(self.weights.len());
+        for l in (0..self.weights.len()).rev() {
+            if l + 1 < self.weights.len() {
+                let pre = &cache[l].0;
+                for (gv, &a) in d_h.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                    if a <= 0.0 {
+                        *gv = 0.0;
+                    }
+                }
+            }
+            metrics.merge(aggregate_with(
+                Framework::Dgl,
+                engine,
+                &transposed,
+                self.weights[l].cols(),
+                None,
+            )?);
+            let d_z = aggregate_gcn_block(&transposed, &degrees, &d_h);
+            let h_in: Matrix = if l == 0 {
+                features.clone()
+            } else {
+                cache[l - 1].1.clone()
+            };
+            charge_gemm(
+                engine,
+                self.weights[l].rows(),
+                self.weights[l].cols(),
+                n,
+                &mut metrics,
+            );
+            let d_w = gemm(&h_in.transpose(), &d_z)?;
+            if l > 0 {
+                charge_gemm(
+                    engine,
+                    n,
+                    self.weights[l].rows(),
+                    self.weights[l].cols(),
+                    &mut metrics,
+                );
+                d_h = gemm(&d_z, &self.weights[l].transpose())?;
+            }
+            weight_grads.push(d_w);
+        }
+        weight_grads.reverse();
+
+        for (w, gv) in self.weights.iter_mut().zip(&weight_grads) {
+            for (wv, g) in w.as_mut_slice().iter_mut().zip(gv.as_slice()) {
+                *wv -= self.lr * g;
+            }
+        }
+
+        Ok(StepResult {
+            loss,
+            accuracy: correct as f64 / seeds as f64,
             metrics,
         })
     }
@@ -327,6 +513,37 @@ mod tests {
     }
 
     #[test]
+    fn step_rejects_out_of_range_labels() {
+        // Regression: a label >= num_classes used to index past the
+        // probability row and abort the process.
+        let (g, features, mut labels) = task(4);
+        labels[17] = 4; // model has classes 0..=3
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let exec = ModelExec::new(&engine, &g, Framework::Dgl, None);
+        let mut trainer = GcnTrainer::new(&[16, 8, 4], 0.1, 1);
+        let err = trainer
+            .step(&exec, &features, &labels)
+            .expect_err("bad label");
+        assert!(
+            matches!(&err, CoreError::InvalidParams { reason } if reason.contains("out of range")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn step_rejects_label_count_mismatch() {
+        let (g, features, mut labels) = task(4);
+        labels.pop();
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let exec = ModelExec::new(&engine, &g, Framework::Dgl, None);
+        let mut trainer = GcnTrainer::new(&[16, 8, 4], 0.1, 1);
+        let err = trainer
+            .step(&exec, &features, &labels)
+            .expect_err("short labels");
+        assert!(matches!(err, CoreError::InvalidParams { .. }), "{err:?}");
+    }
+
+    #[test]
     fn gradients_match_finite_differences() {
         // Tiny graph, tiny model: perturb one weight and compare the loss
         // delta against the analytic gradient.
@@ -372,5 +589,124 @@ mod tests {
                 "layer {layer} ({r},{c}): numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    /// A hand-built asymmetric sampled block: node 0 keeps edges to 1 and
+    /// 2, node 1 keeps 2, node 3 keeps 0 — no reverse edges, so the
+    /// forward operator is *not* its own adjoint.
+    fn asymmetric_block() -> SampledBlock {
+        let block = Csr::from_raw(4, vec![0, 2, 3, 3, 4], vec![1, 2, 2, 0]).expect("valid");
+        SampledBlock {
+            block,
+            nodes: vec![0, 1, 2, 3],
+            num_seeds: 2,
+            hop_offsets: vec![0, 2, 4],
+            scanned_edges: 4,
+        }
+    }
+
+    #[test]
+    fn block_gradients_match_finite_differences() {
+        // Satellite check for the symmetric-backward bug: on an
+        // asymmetric block, only transpose aggregation in the backward
+        // pass matches numeric loss derivatives. The old full-batch
+        // shortcut (reusing forward aggregation) fails this test.
+        let blk = asymmetric_block();
+        let features = Matrix::from_fn(4, 3, |v, d| ((v * 3 + d) % 5) as f32 / 5.0);
+        let labels = vec![0usize, 1];
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+
+        let loss_at = |weights: &[Matrix]| -> f64 {
+            let mut t = GcnTrainer::new(&[3, 3, 2], 0.0, 7);
+            t.weights = weights.to_vec();
+            t.step_block(&engine, &blk, &features, &labels)
+                .expect("step")
+                .loss
+        };
+
+        let base = GcnTrainer::new(&[3, 3, 2], 0.0, 7);
+        let eps = 1e-3f32;
+        for (layer, r, c) in [(0usize, 0usize, 1usize), (0, 2, 2), (1, 2, 0), (1, 0, 1)] {
+            let w0 = base.weights[layer].get(r, c);
+            let mut plus = base.weights.clone();
+            plus[layer].set(r, c, w0 + eps);
+            let mut minus = base.weights.clone();
+            minus[layer].set(r, c, w0 - eps);
+            let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps as f64);
+
+            let mut t = GcnTrainer::new(&[3, 3, 2], 1.0, 7);
+            let before = t.weights[layer].get(r, c);
+            t.step_block(&engine, &blk, &features, &labels)
+                .expect("step");
+            let analytic = (before - t.weights[layer].get(r, c)) as f64;
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "layer {layer} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_block_rejects_bad_labels_and_shapes() {
+        let blk = asymmetric_block();
+        let features = Matrix::from_fn(4, 3, |v, d| (v + d) as f32);
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let mut t = GcnTrainer::new(&[3, 3, 2], 0.1, 7);
+        // One label per seed (2 seeds), each < 2 classes.
+        let err = t
+            .step_block(&engine, &blk, &features, &[0, 2])
+            .expect_err("label out of range");
+        assert!(matches!(err, CoreError::InvalidParams { .. }), "{err:?}");
+        let err = t
+            .step_block(&engine, &blk, &features, &[0, 1, 0])
+            .expect_err("one label per seed, not per node");
+        assert!(matches!(err, CoreError::InvalidParams { .. }), "{err:?}");
+        let short = Matrix::from_fn(3, 3, |v, d| (v + d) as f32);
+        let err = t
+            .step_block(&engine, &blk, &short, &[0, 1])
+            .expect_err("feature rows must match block nodes");
+        assert!(matches!(err, CoreError::InvalidParams { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn step_block_trains_on_real_sampled_blocks() {
+        use gnnadvisor_graph::sample::{sample_epoch, SampleConfig};
+        let (g, features, labels) = task(4);
+        let engine = Engine::new(GpuSpec::quadro_p6000());
+        let cfg = SampleConfig {
+            batch_size: 64,
+            fanouts: vec![6, 4],
+            ..SampleConfig::default()
+        };
+        let mut trainer = GcnTrainer::new(&[16, 16, 4], 0.4, 3);
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        for epoch in 0..8u64 {
+            let mut epoch_loss = 0.0;
+            let blocks = sample_epoch(&g, &cfg, epoch).expect("samples");
+            let count = blocks.len();
+            for blk in blocks {
+                // Gather block-local features and seed labels.
+                let bf = Matrix::from_fn(blk.nodes.len(), features.cols(), |r, c| {
+                    features.get(blk.nodes[r] as usize, c)
+                });
+                let bl: Vec<usize> = blk.nodes[..blk.num_seeds]
+                    .iter()
+                    .map(|&v| labels[v as usize])
+                    .collect();
+                let r = trainer.step_block(&engine, &blk, &bf, &bl).expect("step");
+                assert!(r.metrics.total_ms() > 0.0, "block steps charge the GPU");
+                epoch_loss += r.loss;
+            }
+            epoch_loss /= count as f64;
+            if epoch == 0 {
+                first = epoch_loss;
+            }
+            last = epoch_loss;
+        }
+        assert!(
+            last < first * 0.8,
+            "mini-batch loss must drop: {first} -> {last}"
+        );
     }
 }

@@ -94,19 +94,28 @@ pub fn frobenius_norm(m: &Matrix) -> f32 {
 }
 
 /// Concatenates two matrices horizontally (`[a | b]`), as GraphSage does
-/// with the self and neighbor embeddings.
-///
-/// # Panics
-///
-/// Panics if the row counts differ.
-pub fn hconcat(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "row count mismatch in hconcat");
+/// with the self and neighbor embeddings. Returns
+/// [`TensorError::ShapeMismatch`] if the row counts differ — serving
+/// paths reach this with externally shaped inputs, so a mismatch must
+/// surface as an error, not a process abort.
+pub fn hconcat(a: &Matrix, b: &Matrix) -> crate::Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(crate::TensorError::ShapeMismatch {
+            context: format!(
+                "hconcat row counts differ: {}x{} vs {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            ),
+        });
+    }
     let mut out = Matrix::zeros(a.rows(), a.cols() + b.cols());
     for r in 0..a.rows() {
         out.row_mut(r)[..a.cols()].copy_from_slice(a.row(r));
         out.row_mut(r)[a.cols()..].copy_from_slice(b.row(r));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -157,9 +166,18 @@ mod tests {
     fn hconcat_layout() {
         let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
         let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
-        let c = hconcat(&a, &b);
+        let c = hconcat(&a, &b).expect("rows match");
         assert_eq!(c.shape(), (2, 3));
         assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn hconcat_row_mismatch_is_a_typed_error() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        let err = hconcat(&a, &b).expect_err("row mismatch");
+        let crate::TensorError::ShapeMismatch { context } = err;
+        assert!(context.contains("hconcat"), "{context}");
     }
 
     #[test]

@@ -157,6 +157,36 @@ cmp "$trace_dir/d_a.txt" "$trace_dir/d_t1.txt" || {
   exit 1
 }
 
+echo "==> train-minibatch smoke: report stable across runs and worker counts"
+minibatch() {
+  cargo run --offline -q --bin gnnadvisor -- \
+    train-minibatch --scale 0.02 --batch-size 96 --epochs 2 --fanout 6,3 > "$1"
+}
+minibatch "$trace_dir/m_a.txt"
+minibatch "$trace_dir/m_b.txt"
+GNNADVISOR_SIM_THREADS=1 minibatch "$trace_dir/m_t1.txt"
+GNNADVISOR_SIM_THREADS=4 minibatch "$trace_dir/m_t4.txt"
+grep -q "total: pipelined" "$trace_dir/m_a.txt" || {
+  echo "FAIL: train-minibatch report missing the pipeline totals" >&2
+  exit 1
+}
+grep -q "overlap" "$trace_dir/m_a.txt" || {
+  echo "FAIL: train-minibatch report missing the overlap column" >&2
+  exit 1
+}
+cmp "$trace_dir/m_a.txt" "$trace_dir/m_b.txt" || {
+  echo "FAIL: train-minibatch report differs between identical runs" >&2
+  exit 1
+}
+cmp "$trace_dir/m_t1.txt" "$trace_dir/m_t4.txt" || {
+  echo "FAIL: train-minibatch report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+cmp "$trace_dir/m_a.txt" "$trace_dir/m_t1.txt" || {
+  echo "FAIL: train-minibatch report depends on GNNADVISOR_SIM_THREADS" >&2
+  exit 1
+}
+
 echo "==> tune smoke: two-tier report stable across runs and worker counts"
 tune2() {
   cargo run --offline -q --release --bin gnnadvisor -- \

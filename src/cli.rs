@@ -16,6 +16,7 @@ use gnnadvisor_core::dynamic::{
 };
 use gnnadvisor_core::frameworks::{aggregate_with, Framework};
 use gnnadvisor_core::input::extract;
+use gnnadvisor_core::minibatch::HostCostModel;
 use gnnadvisor_core::runtime::{Advisor, AdvisorConfig};
 use gnnadvisor_core::serving::{
     generate_arrivals, generate_mmpp_arrivals, simulate, ArrivalConfig, BatchPolicy, MmppConfig,
@@ -32,9 +33,10 @@ use gnnadvisor_graph::generators::{
 };
 use gnnadvisor_graph::io::{load_edge_list, LoadOptions};
 use gnnadvisor_graph::reorder::{renumber, RenumberConfig};
+use gnnadvisor_graph::sample::{SampleConfig, SampleStrategy};
 use gnnadvisor_graph::stats::DegreeStats;
 use gnnadvisor_models::{
-    DynamicGcnExecutor, Gat, Gcn, GcnBatchExecutor, Gin, GraphSage, ModelExec,
+    DynamicGcnExecutor, Gat, Gcn, GcnBatchExecutor, Gin, GraphSage, MiniBatchConfig, ModelExec,
 };
 use gnnadvisor_tensor::init::random_features;
 
@@ -135,6 +137,18 @@ pub struct CliOptions {
     /// times faster than full simulation (measured; reported on stderr so
     /// stdout stays byte-deterministic).
     pub speed_check: Option<f64>,
+    /// train-minibatch: training epochs.
+    pub epochs: usize,
+    /// train-minibatch: per-hop neighbor fan-outs, comma-separated.
+    pub fanout: String,
+    /// train-minibatch: hidden layer dimension.
+    pub hidden: usize,
+    /// train-minibatch: SGD learning rate.
+    pub lr: f64,
+    /// train-minibatch: sampling strategy — neighbor | layer.
+    pub strategy: String,
+    /// train-minibatch: layer-wise strategy's shared node budget per hop.
+    pub budget: usize,
 }
 
 impl Default for CliOptions {
@@ -184,6 +198,12 @@ impl Default for CliOptions {
             tier: "two-tier".into(),
             top_k: 4,
             speed_check: None,
+            epochs: 3,
+            fanout: "10,5".into(),
+            hidden: 16,
+            lr: 0.1,
+            strategy: "neighbor".into(),
+            budget: 256,
         }
     }
 }
@@ -381,6 +401,28 @@ impl CliOptions {
                             .map_err(|_| "--speed-check needs a number".to_string())?,
                     )
                 }
+                "--epochs" => {
+                    opts.epochs = need()?
+                        .parse()
+                        .map_err(|_| "--epochs needs an integer".to_string())?
+                }
+                "--fanout" => opts.fanout = need()?,
+                "--hidden" => {
+                    opts.hidden = need()?
+                        .parse()
+                        .map_err(|_| "--hidden needs an integer".to_string())?
+                }
+                "--lr" => {
+                    opts.lr = need()?
+                        .parse()
+                        .map_err(|_| "--lr needs a number".to_string())?
+                }
+                "--strategy" => opts.strategy = need()?.to_lowercase(),
+                "--budget" => {
+                    opts.budget = need()?
+                        .parse()
+                        .map_err(|_| "--budget needs an integer".to_string())?
+                }
                 other => return Err(format!("unknown option {other}")),
             }
         }
@@ -540,6 +582,28 @@ impl CliOptions {
             if !(r.is_finite() && r > 0.0) {
                 return Err(format!("--speed-check must be a positive ratio, got {r}"));
             }
+        }
+        if opts.epochs == 0 {
+            return Err("--epochs must be at least 1".to_string());
+        }
+        parse_fanouts(&opts.fanout)?;
+        if opts.hidden == 0 {
+            return Err("--hidden must be at least 1".to_string());
+        }
+        if !(opts.lr.is_finite() && opts.lr >= 0.0) {
+            return Err(format!(
+                "--lr must be a finite non-negative rate, got {}",
+                opts.lr
+            ));
+        }
+        if !matches!(opts.strategy.as_str(), "neighbor" | "layer") {
+            return Err(format!(
+                "--strategy must be neighbor or layer, got {}",
+                opts.strategy
+            ));
+        }
+        if opts.budget == 0 {
+            return Err("--budget must be at least 1".to_string());
         }
         Ok(opts)
     }
@@ -1404,6 +1468,119 @@ pub fn serve_dynamic(opts: &CliOptions) -> CliResult {
     ))
 }
 
+/// Parses a comma-separated fan-out list like `10,5` (all entries > 0).
+fn parse_fanouts(s: &str) -> Result<Vec<usize>, String> {
+    let fanouts: Vec<usize> = s
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&f| f > 0)
+                .ok_or_else(|| format!("--fanout needs comma-separated positive integers, got {s}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if fanouts.is_empty() {
+        return Err("--fanout needs at least one hop".to_string());
+    }
+    Ok(fanouts)
+}
+
+/// `train-minibatch`: pipelined sampling-based mini-batch training. A
+/// community-structured graph supplies a separable node-classification
+/// task (labels from the planted communities, noisy one-hot features);
+/// every epoch is trained for real through per-block SGD while the
+/// simulator prices both the pipelined schedule (the host samples batch
+/// `k+1` while the device trains batch `k`) and the classic serialized
+/// loop. Everything is seeded, so the report replays byte-for-byte at any
+/// `GNNADVISOR_SIM_THREADS`.
+pub fn train_minibatch(opts: &CliOptions) -> CliResult {
+    let nodes = ((20_000.0 * opts.scale) as usize).clamp(300, 20_000);
+    let (graph, comm) = community_graph(
+        &CommunityParams {
+            num_nodes: nodes,
+            num_edges: nodes * 10,
+            mean_community: 40,
+            community_size_cv: 0.3,
+            inter_fraction: 0.08,
+            shuffle_ids: true,
+        },
+        23,
+    )
+    .map_err(|e| e.to_string())?;
+    let labels: Vec<usize> = comm
+        .iter()
+        .map(|&c| c as usize % opts.num_classes)
+        .collect();
+    let features = gnnadvisor_tensor::Matrix::from_fn(nodes, opts.feat_dim, |v, d| {
+        let hot = labels[v] % opts.feat_dim;
+        let noise = ((v * 31 + d * 17) % 13) as f32 / 26.0;
+        if d == hot {
+            1.0 + noise
+        } else {
+            noise
+        }
+    });
+
+    let fanouts = parse_fanouts(&opts.fanout)?;
+    let strategy = match opts.strategy.as_str() {
+        "layer" => SampleStrategy::LayerWise {
+            budget: opts.budget,
+        },
+        _ => SampleStrategy::NeighborFanout,
+    };
+    let cfg = MiniBatchConfig {
+        dims: vec![opts.feat_dim, opts.hidden, opts.num_classes],
+        lr: opts.lr as f32,
+        epochs: opts.epochs,
+        sample: SampleConfig {
+            batch_size: opts.batch_size,
+            fanouts: fanouts.clone(),
+            strategy,
+            seed: opts.seed,
+        },
+        host: HostCostModel::default(),
+        seed: opts.seed,
+    };
+    let engine = Engine::new(opts.spec()?);
+    let report = gnnadvisor_models::train_minibatch(&engine, &graph, &features, &labels, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    let fanout_str = fanouts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let strategy_str = match strategy {
+        SampleStrategy::NeighborFanout => "neighbor".to_string(),
+        SampleStrategy::LayerWise { budget } => format!("layer (budget {budget})"),
+    };
+    Ok(format!(
+        "train-minibatch: {} epochs over a {}-node community graph ({})\n\
+         sampling: {} seeds per batch, fan-outs [{}], strategy {}, seed {}\n\
+         model: dims [{}, {}, {}], lr {}\n\n{}\n\
+         final: loss {:.6}, accuracy {:.4}\n\
+         total: pipelined {:.4} ms vs serialized {:.4} ms ({:.2}x)\n",
+        opts.epochs,
+        nodes,
+        engine.spec().name,
+        opts.batch_size,
+        fanout_str,
+        strategy_str,
+        opts.seed,
+        opts.feat_dim,
+        opts.hidden,
+        opts.num_classes,
+        opts.lr,
+        report.render(),
+        report.final_loss(),
+        report.final_accuracy(),
+        report.pipelined_ms(),
+        report.serialized_ms(),
+        report.serialized_ms() / report.pipelined_ms().max(f64::MIN_POSITIVE),
+    ))
+}
+
 fn model_order(model: &str) -> Result<gnnadvisor_core::input::AggOrder, String> {
     match model {
         "gcn" | "sage" => Ok(gnnadvisor_core::input::AggOrder::UpdateThenAggregate),
@@ -1445,6 +1622,8 @@ COMMANDS:
     serve-cluster  replicated serving: router, tenants, autoscaler
     serve-dynamic  serving under live graph updates: incremental CSR,
                    locality-triggered re-renumbering
+    train-minibatch  pipelined sampling-based mini-batch training:
+                     host sampling overlapped with device training
 
 OPTIONS:
     --dataset NAME       a Table 1 dataset (e.g. Cora, artist, DD)
@@ -1508,6 +1687,17 @@ SERVE-DYNAMIC OPTIONS (plus the serve-sim options and --replicas):
     --rebuild-cost-us C  simulated rebuild stall, us per live edge (default 0.0005)
     --compact-every N    fold the delta overlay after N applied updates
                          (default 64; 0 = only at rebuilds)
+
+TRAIN-MINIBATCH OPTIONS:
+    --epochs N           training epochs (default 3)
+    --batch-size B       seed nodes per mini-batch (default 8)
+    --fanout F1,F2,...   per-hop neighbor fan-outs (default 10,5)
+    --hidden H           hidden layer dimension (default 16)
+    --lr R               SGD learning rate (default 0.1)
+    --strategy S         neighbor | layer — per-node fan-out sampling or a
+                         shared per-hop node budget (default neighbor)
+    --budget N           layer strategy's shared node budget (default 256)
+    --seed X             sampling and weight-init seed (default 7)
 ";
 
 /// Dispatches a full argument vector (without the program name).
@@ -1523,6 +1713,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         "serve-sim" => serve_sim(&opts),
         "serve-cluster" => serve_cluster(&opts),
         "serve-dynamic" => serve_dynamic(&opts),
+        "train-minibatch" => train_minibatch(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -1970,6 +2161,64 @@ mod tests {
             "--updates 100 --update-gap-ms 0.01 --delete-frac 0.2 --node-frac 0.3 \
              --attach-degree 4 --renumber off --hit-watermark 0.9 --policy-window 4 \
              --cooldown 8 --rebuild-cost-us 0.001 --compact-every 0"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn train_minibatch_report_is_deterministic() {
+        let cmd = "train-minibatch --scale 0.02 --batch-size 96 --epochs 2 --fanout 6,3";
+        let a = dispatch(&args(cmd)).expect("runs");
+        let b = dispatch(&args(cmd)).expect("runs");
+        assert_eq!(a, b, "train-minibatch must be byte-identical run-to-run");
+        for needle in [
+            "train-minibatch: 2 epochs",
+            "fan-outs [6,3]",
+            "strategy neighbor",
+            "epoch batches loss accuracy host_ms device_ms pipelined_ms serialized_ms overlap",
+            "final: loss",
+            "total: pipelined",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn train_minibatch_layer_strategy_runs() {
+        let out = dispatch(&args(
+            "train-minibatch --scale 0.02 --batch-size 96 --epochs 1 --fanout 4 \
+             --strategy layer --budget 64",
+        ))
+        .expect("runs");
+        assert!(out.contains("strategy layer (budget 64)"), "{out}");
+    }
+
+    #[test]
+    fn train_minibatch_options_validated_at_parse() {
+        assert!(CliOptions::parse(&args("--epochs 0"))
+            .expect_err("zero epochs")
+            .contains("--epochs"));
+        for bad in ["", "0", "3,0", "a", "2,,3"] {
+            assert!(CliOptions::parse(&args(&format!("--fanout {bad}")))
+                .expect_err(bad)
+                .contains("--fanout"));
+        }
+        assert!(CliOptions::parse(&args("--hidden 0"))
+            .expect_err("zero hidden")
+            .contains("--hidden"));
+        for bad in ["-0.1", "nan", "inf"] {
+            assert!(CliOptions::parse(&args(&format!("--lr {bad}")))
+                .expect_err(bad)
+                .contains("--lr"));
+        }
+        assert!(CliOptions::parse(&args("--strategy random"))
+            .expect_err("bad strategy")
+            .contains("--strategy"));
+        assert!(CliOptions::parse(&args("--budget 0"))
+            .expect_err("zero budget")
+            .contains("--budget"));
+        assert!(CliOptions::parse(&args(
+            "--epochs 5 --fanout 10,5,2 --hidden 32 --lr 0.05 --strategy layer --budget 128"
         ))
         .is_ok());
     }
